@@ -1,0 +1,20 @@
+# Convenience targets for the V-System reproduction.
+
+.PHONY: install test bench examples demo all
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	python -m pytest tests/
+
+bench:
+	python -m pytest benchmarks/ --benchmark-only
+
+examples:
+	for e in examples/*.py; do echo "== $$e"; python $$e; done
+
+demo:
+	python -m repro demo
+
+all: install test bench

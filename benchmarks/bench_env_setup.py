@@ -1,0 +1,51 @@
+"""E2 -- execution-environment setup and teardown (paper §4.1).
+
+"The cost of setting up and later destroying a new execution environment
+on a specific remote host is 40 milliseconds."
+"""
+
+from repro.ipc.messages import Message
+from repro.kernel.process import Send
+from repro.metrics.report import ExperimentReport, register
+
+from _common import run_once, run_until, workload_cluster
+
+PAPER_SETUP_DESTROY_MS = 40.0
+
+
+def _measure(trials=5):
+    cluster = workload_cluster(n=2)
+    pm_pid = cluster.pm("ws1").pcb.pid
+    samples = []
+    rpc_samples = []
+
+    def session(ctx):
+        # Baseline: an empty round trip to the same program manager, so
+        # the environment cost can be isolated from raw IPC cost.
+        for _ in range(trials):
+            start = ctx.sim.now
+            yield Send(pm_pid, Message("query-programs"))
+            rpc_samples.append(ctx.sim.now - start)
+        for _ in range(trials):
+            start = ctx.sim.now
+            created = yield Send(pm_pid, Message("create-env", space_bytes=65536))
+            yield Send(pm_pid, Message("destroy-env", lhid=created["lhid"]))
+            samples.append(ctx.sim.now - start)
+
+    cluster.spawn_session(cluster.workstations[0], session, name="env-bench")
+    run_until(cluster, lambda: len(samples) >= trials)
+    return samples, rpc_samples
+
+
+def test_env_setup_and_destroy(benchmark):
+    samples, rpc_samples = run_once(benchmark, _measure)
+    raw_ms = sum(samples) / len(samples) / 1000.0
+    rpc_ms = sum(rpc_samples) / len(rpc_samples) / 1000.0
+    env_ms = raw_ms - 2 * rpc_ms  # strip the two request round trips
+    report = ExperimentReport("E2", "execution environment setup + destroy")
+    report.add("setup + destroy (net of IPC)", "ms", PAPER_SETUP_DESTROY_MS,
+               round(env_ms, 2))
+    report.add("raw round trip incl. IPC", "ms", None, round(raw_ms, 2))
+    report.add("plain PM RPC (baseline)", "ms", None, round(rpc_ms, 2))
+    register(report)
+    assert abs(env_ms - PAPER_SETUP_DESTROY_MS) < 10.0

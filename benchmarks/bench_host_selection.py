@@ -1,0 +1,54 @@
+"""E1 -- remote host selection (paper §4.1).
+
+"The cost of selecting a remote host has been measured to be 23
+milliseconds, this being the time required to receive the first response
+from a multicast request for candidate hosts."
+"""
+
+from repro.execution.api import select_candidate_host
+from repro.metrics.report import ExperimentReport, register
+
+from _common import run_once, run_until, workload_cluster
+
+PAPER_SELECTION_MS = 23.0
+
+
+def _measure(n_workstations=6, trials=5, seed=0):
+    cluster = workload_cluster(n=n_workstations, seed=seed)
+    samples = []
+
+    def session(ctx):
+        for _ in range(trials):
+            start = ctx.sim.now
+            yield from select_candidate_host()
+            samples.append(ctx.sim.now - start)
+
+    cluster.spawn_session(cluster.workstations[0], session, name="selector")
+    run_until(cluster, lambda: len(samples) >= trials)
+    return samples, cluster
+
+
+def test_host_selection_time(benchmark):
+    samples, cluster = run_once(benchmark, _measure)
+    first_response_ms = sum(samples) / len(samples) / 1000.0
+    report = ExperimentReport("E1", "remote host selection (first multicast response)")
+    report.add("time to first response", "ms", PAPER_SELECTION_MS,
+               round(first_response_ms, 2))
+    report.add("candidate hosts answering", "hosts", None,
+               sum(pm.candidate_replies for pm in cluster.program_managers.values()))
+    report.note("additional responses arrive after selection and are absorbed")
+    register(report)
+    assert abs(first_response_ms - PAPER_SELECTION_MS) < 8.0
+
+
+def test_host_selection_scales_with_cluster_size(benchmark):
+    def run():
+        times = {}
+        for n in (2, 8, 16):
+            samples, _ = _measure(n_workstations=n, trials=3, seed=n)
+            times[n] = sum(samples) / len(samples) / 1000.0
+        return times
+
+    times = run_once(benchmark, run)
+    # Decentralized selection: first-response time is flat in cluster size.
+    assert max(times.values()) - min(times.values()) < 5.0

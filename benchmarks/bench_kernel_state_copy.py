@@ -1,0 +1,88 @@
+"""E4 -- kernel-state copy cost of migration (paper §4.1).
+
+"The time required to create a copy of the logical host's kernel server
+and program manager state depends on the number of processes and address
+spaces in the logical host.  14 milliseconds plus an additional 9
+milliseconds for each process and address space are required."
+
+Method: migrate logical hosts of 1..8 parked processes (1 address
+space) whose pages are never dirtied, so the measured freeze time is
+the kernel-state transfer plus a near-empty residual; regressing freeze
+time against the object count recovers the 9 ms slope and 14 ms base.
+"""
+
+from repro.kernel.process import Delay, Priority
+from repro.metrics.report import ExperimentReport, register
+from repro.migration.manager import run_migration
+
+from _common import run_once, run_until, workload_cluster
+
+PAPER_BASE_MS = 14.0
+PAPER_PER_OBJECT_MS = 9.0
+
+PROCESS_COUNTS = (1, 2, 4, 8)
+
+
+def _measure():
+    cluster = workload_cluster(n=3)
+    cluster.run(until_us=100_000)  # services settled
+    source = cluster.workstations[1]
+    dest_pm_pid = cluster.pm("ws2").pcb.pid
+    freeze_by_objects = {}
+
+    for n in PROCESS_COUNTS:
+        kernel = source.kernel
+        lh = kernel.create_logical_host()
+        space = kernel.allocate_space(lh, 64 * 1024, name=f"parked{n}")
+        for _ in range(n):
+            kernel.create_process(
+                lh, _parked(), space, Priority.REMOTE, name=f"parked{n}"
+            )
+        results = []
+
+        def mgr_body(lh=lh, results=results):
+            stats = yield from run_migration(kernel, lh, dest_pm=dest_pm_pid)
+            results.append(stats)
+
+        kernel.create_process(
+            cluster.pm("ws1").pcb.logical_host, mgr_body(),
+            priority=Priority.MIGRATION, name=f"mgr{n}",
+        )
+        run_until(cluster, lambda: bool(results))
+        stats = results[0]
+        assert stats.success, stats.error
+        # objects = processes + address spaces
+        freeze_by_objects[n + 1] = stats.freeze_us / 1000.0
+        # Move it back off ws2 is unnecessary; destroy at its new home.
+        dest_kernel = cluster.workstations[2].kernel
+        if dest_kernel.hosts_lhid(stats.lhid):
+            dest_kernel.destroy_logical_host(dest_kernel.logical_hosts[stats.lhid])
+    return freeze_by_objects
+
+
+def _parked():
+    yield Delay(3_600_000_000)
+
+
+def test_kernel_state_copy_cost(benchmark):
+    freeze_by_objects = run_once(benchmark, _measure)
+    counts = sorted(freeze_by_objects)
+    # Linear regression freeze_ms = base + slope * objects.
+    n = len(counts)
+    xs, ys = counts, [freeze_by_objects[c] for c in counts]
+    x_mean, y_mean = sum(xs) / n, sum(ys) / n
+    slope = sum((x - x_mean) * (y - y_mean) for x, y in zip(xs, ys)) / sum(
+        (x - x_mean) ** 2 for x in xs
+    )
+    base = y_mean - slope * x_mean
+    report = ExperimentReport("E4", "kernel-state copy: 14 ms + 9 ms per object")
+    report.add("per-object slope", "ms", PAPER_PER_OBJECT_MS, round(slope, 2))
+    report.add("fixed base (incl. install RPC)", "ms", PAPER_BASE_MS, round(base, 2))
+    for count in counts:
+        report.add(f"freeze with {count} objects", "ms",
+                   PAPER_BASE_MS + PAPER_PER_OBJECT_MS * count,
+                   round(freeze_by_objects[count], 2))
+    report.note("measured freeze time also includes the install round trip (~3 ms)")
+    register(report)
+    assert abs(slope - PAPER_PER_OBJECT_MS) < 1.0
+    assert abs(base - PAPER_BASE_MS) < 8.0

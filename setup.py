@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Metadata lives in pyproject.toml; this file additionally enables
+``python setup.py develop`` as an installation fallback for offline
+environments whose pip/setuptools/wheel combination cannot perform
+PEP 517 editable installs.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""Reproduction of *Preemptable Remote Execution Facilities for the V-System*.
+
+Theimer, Lantz & Cheriton, SOSP 1985.
+
+This package implements a deterministic discrete-event simulation of the
+V distributed system -- workstations, Ethernet, the V kernel and its IPC
+protocol, server processes -- together with the paper's two headline
+facilities:
+
+* **Remote execution** (:mod:`repro.execution`): run a program on a named
+  workstation (``prog @ machine``) or on a random idle one (``prog @ *``),
+  with a network-transparent execution environment.
+* **Preemptable migration** (:mod:`repro.migration`): move a running
+  logical host to another workstation using *pre-copying*, so the program
+  is frozen only for the final residual copy.
+
+The usual entry point is :func:`repro.cluster.build_cluster`, which wires a
+simulated cluster together, and :class:`repro.shell.Shell`, which exposes
+the paper's command-interpreter interface.
+"""
+
+from repro._version import __version__
+from repro.errors import (
+    ReproError,
+    SimulationError,
+    KernelError,
+    IpcError,
+    MigrationError,
+    ExecutionError,
+)
+
+__all__ = [
+    "__version__",
+    "ReproError",
+    "SimulationError",
+    "KernelError",
+    "IpcError",
+    "MigrationError",
+    "ExecutionError",
+]

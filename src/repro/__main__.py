@@ -1,0 +1,136 @@
+"""Command-line entry point: ``python -m repro [demo|migrate|info]``.
+
+* ``demo``    -- the quickstart scenario: remote execution plus a
+  ``migrateprog`` preemption, narrated (default).
+* ``migrate`` -- one instrumented mid-run migration with the pre-copy
+  round/residual/freeze breakdown the paper reports.
+* ``info``    -- the calibrated hardware model and package layout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from repro.cluster import build_cluster
+    from repro.shell import Shell
+    from repro.workloads import standard_registry
+
+    cluster = build_cluster(
+        n_workstations=args.workstations,
+        registry=standard_registry(scale=0.2),
+        seed=args.seed,
+    )
+    shell = Shell(cluster, "ws0")
+    shell.run_script([
+        "hosts",
+        "tex paper.tex @ *",
+        "longsim @ ws1 &",
+        "ps ws1",
+        "migrateprog %1",
+    ])
+    cluster.run(until_us=90_000_000)
+    for line in shell.output:
+        print(line)
+    print(f"\n[{cluster.sim.now / 1e6:.1f} simulated seconds; "
+          f"{cluster.net.packets_sent} packets on the Ethernet]")
+    return 0
+
+
+def cmd_migrate(args: argparse.Namespace) -> int:
+    from repro.cluster import build_cluster
+    from repro.execution import exec_program
+    from repro.kernel.process import Priority
+    from repro.migration.manager import run_migration
+    from repro.workloads import standard_registry
+
+    cluster = build_cluster(
+        n_workstations=3, registry=standard_registry(scale=3.0), seed=args.seed
+    )
+    holder = {}
+
+    def session(ctx):
+        pid, pm = yield from exec_program(ctx, args.program, where="ws1")
+        holder["pid"] = pid
+
+    cluster.spawn_session(cluster.workstations[0], session)
+    while "pid" not in holder and cluster.sim.peek() is not None:
+        cluster.sim.run(until_us=cluster.sim.now + 100_000)
+    cluster.run(until_us=cluster.sim.now + 1_000_000)
+    kernel = cluster.workstations[1].kernel
+    lh = kernel.logical_hosts[holder["pid"].logical_host_id]
+    results = []
+
+    def mgr():
+        stats = yield from run_migration(kernel, lh)
+        results.append(stats)
+
+    kernel.create_process(
+        cluster.pm("ws1").pcb.logical_host, mgr(),
+        priority=Priority.MIGRATION, name="mgr",
+    )
+    while not results and cluster.sim.peek() is not None:
+        cluster.sim.run(until_us=cluster.sim.now + 100_000)
+    stats = results[0]
+    print(f"migrating a running {args.program!r} off ws1:")
+    for r in stats.rounds:
+        print(f"  pre-copy round {r.round_index}: {r.pages} pages "
+              f"({r.bytes // 1024} KB) in {r.duration_us / 1000:.0f} ms")
+    print(f"  frozen residual: {stats.residual_pages} pages "
+          f"({stats.residual_bytes // 1024} KB)")
+    print(f"  freeze time: {stats.freeze_us / 1000:.1f} ms "
+          "(incl. kernel-state copy)")
+    print(f"  total: {stats.total_us / 1000:.0f} ms -> {stats.dest_host}")
+    print(f"  outcome: {stats.summary()}")
+    return 0 if stats.success else 1
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    import repro
+    from repro.config import DEFAULT_MODEL
+
+    print(f"repro {repro.__version__} -- Theimer/Lantz/Cheriton, SOSP 1985")
+    print("calibrated hardware model (paper section 4.1):")
+    model = DEFAULT_MODEL
+    rows = [
+        ("address-space copy", f"{model.bulk_copy_us(1024 * 1024) / 1e6:.2f} s/MB"),
+        ("program load", f"{model.program_load_us(100 * 1024) / 1e3:.0f} ms/100 KB"),
+        ("kernel-state copy", f"{model.kernel_state_copy_base_us / 1e3:.0f} ms + "
+         f"{model.kernel_state_copy_per_object_us / 1e3:.0f} ms/object"),
+        ("group-id indirection", f"{model.group_id_lookup_us} us/op"),
+        ("frozen check", f"{model.frozen_check_us} us/op"),
+        ("workstation memory", f"{model.workstation_memory_bytes // (1024 * 1024)} MB"),
+        ("Ethernet", f"{model.ethernet_bits_per_us:.0f} Mbit/s"),
+    ]
+    for name, value in rows:
+        print(f"  {name:24s} {value}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Preemptable remote execution for the V-System (SOSP '85), simulated.",
+    )
+    sub = parser.add_subparsers(dest="command")
+    demo = sub.add_parser("demo", help="quickstart scenario (default)")
+    demo.add_argument("--workstations", type=int, default=4)
+    demo.add_argument("--seed", type=int, default=42)
+    migrate = sub.add_parser("migrate", help="one instrumented migration")
+    migrate.add_argument("--program", default="tex",
+                         choices=["tex", "parser", "optimizer", "assembler",
+                                  "preprocessor", "linking_loader", "longsim"])
+    migrate.add_argument("--seed", type=int, default=0)
+    sub.add_parser("info", help="calibrated model summary")
+    args = parser.parse_args(argv)
+    command = args.command or "demo"
+    if command == "demo" and not hasattr(args, "workstations"):
+        args.workstations, args.seed = 4, 42
+    handler = {"demo": cmd_demo, "migrate": cmd_migrate, "info": cmd_info}[command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Cluster-wide observation helpers.
+
+The paper describes "a suite of programs and library functions for
+querying and managing program execution on a particular workstation as
+well as all workstations in the system" (§2).  :class:`ClusterMonitor`
+is the library half: direct (omniscient) queries used by tests, benches
+and the shell's informational commands.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.kernel.ids import Pid
+from repro.kernel.process import Priority
+
+
+@dataclass
+class ProgramRow:
+    """One row of a cluster-wide program listing."""
+
+    pid: Pid
+    name: str
+    host: str
+    state: str
+    priority: int
+    remote: bool
+    frozen: bool
+    cpu_used_us: int
+
+
+class ClusterMonitor:
+    """Read-only views over a built cluster."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+
+    def programs(self, host: Optional[str] = None) -> List[ProgramRow]:
+        """All program-priority processes, optionally on one host."""
+        rows: List[ProgramRow] = []
+        for ws in self.cluster.workstations:
+            if host is not None and ws.name != host:
+                continue
+            for pcb in ws.kernel.all_processes():
+                if pcb.priority < Priority.LOCAL:
+                    continue
+                rows.append(
+                    ProgramRow(
+                        pid=pcb.pid,
+                        name=pcb.name,
+                        host=ws.name,
+                        state=pcb.state.value,
+                        priority=int(pcb.priority),
+                        remote=pcb.priority == Priority.REMOTE,
+                        frozen=pcb.frozen,
+                        cpu_used_us=pcb.cpu_used_us,
+                    )
+                )
+        return rows
+
+    def find_program(self, name: str) -> Optional[ProgramRow]:
+        """The first program whose process name matches."""
+        for row in self.programs():
+            if row.name == name:
+                return row
+        return None
+
+    def host_of_lhid(self, lhid: int) -> Optional[str]:
+        """Which machine (workstation or server) hosts a logical host."""
+        for ws in self.cluster.workstations + self.cluster.server_machines:
+            if ws.kernel.hosts_lhid(lhid):
+                return ws.name
+        return None
+
+    def loads(self) -> Dict[str, Dict[str, int]]:
+        """Per-workstation load summaries."""
+        return {ws.name: ws.kernel.load_summary() for ws in self.cluster.workstations}
+
+    def total_packets(self) -> int:
+        """Packets transmitted on the cluster Ethernet so far."""
+        return self.cluster.net.packets_sent

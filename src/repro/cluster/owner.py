@@ -1,0 +1,98 @@
+"""Workstation owners.
+
+The paper's central social contract: "use of idle workstations must not
+compromise a workstation owner's claim to his machine: a user must be
+able to quickly reclaim his workstation, implying removal of remotely
+executed programs within a few seconds time" (§1).  An :class:`Owner`
+models the interactive user -- mostly editing, i.e. >80% idle (§4.3) --
+and :class:`OwnerActivityModel` drives arrival/departure so experiments
+can trigger reclaims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.kernel.machine import Workstation
+from repro.kernel.process import Compute, Delay, Pcb, Priority
+
+
+@dataclass
+class OwnerActivityModel:
+    """Arrival/departure and typing behaviour of a workstation owner."""
+
+    #: Mean think time between editing bursts, microseconds.
+    think_us: int = 400_000
+    #: CPU per editing burst (a keystroke echo, a screen repaint).
+    burst_us: int = 20_000
+    #: The paper: "most of our workstations are over 80% idle even during
+    #: the peak usage hours"; the defaults give ~5% utilization.
+
+
+class Owner:
+    """The interactive user of one workstation."""
+
+    def __init__(
+        self,
+        workstation: Workstation,
+        model: Optional[OwnerActivityModel] = None,
+        stream: str = "owner",
+    ):
+        self.workstation = workstation
+        self.model = model or OwnerActivityModel()
+        self.stream = f"{stream}:{workstation.name}"
+        self.pcb: Optional[Pcb] = None
+        #: (time, latency) of every editing burst, for interference
+        #: measurements (experiment E11).
+        self.burst_latencies: List[Tuple[int, int]] = []
+
+    def arrive(self) -> Pcb:
+        """The owner sits down: an editor session starts at LOCAL
+        priority and the workstation is marked owner-active."""
+        ws = self.workstation
+        ws.owner_active = True
+        kernel = ws.kernel
+        lh = kernel.create_logical_host()
+        kernel.allocate_space(lh, 128 * 1024, name=f"{ws.name}-editor-space")
+        self.pcb = kernel.create_process(
+            lh, self._editor_body(), priority=Priority.LOCAL,
+            name=f"{ws.name}-editor",
+        )
+        return self.pcb
+
+    def depart(self) -> None:
+        """The owner leaves; the editor session ends."""
+        self.workstation.owner_active = False
+        if self.pcb is not None and self.pcb.alive:
+            self.workstation.kernel.destroy_process(self.pcb)
+        self.pcb = None
+
+    def _editor_body(self):
+        sim = self.workstation.sim
+        rand = sim.rand
+        while True:
+            think = rand.randint(self.stream, self.model.think_us // 2,
+                                 self.model.think_us * 3 // 2)
+            yield Delay(think)
+            # Wake latency: how long after the keystroke "arrived" (the
+            # delay deadline) did we actually get the CPU back?  This is
+            # where a hogging background job would show up.
+            wake_latency = sim.now - self.pcb.delay_deadline
+            started = sim.now
+            yield Compute(self.model.burst_us)
+            stretch = sim.now - started - self.model.burst_us
+            self.burst_latencies.append((started, wake_latency + stretch))
+
+    # ---------------------------------------------------------- measurement
+
+    def worst_interference_us(self, since_us: int = 0) -> int:
+        """Worst extra latency (beyond the burst's own CPU time) any
+        editing burst experienced since ``since_us``."""
+        relevant = [lat for t, lat in self.burst_latencies if t >= since_us]
+        return max(relevant) if relevant else 0
+
+    def mean_interference_us(self, since_us: int = 0) -> float:
+        """Mean extra latency since ``since_us``."""
+        relevant = [lat for t, lat in self.burst_latencies if t >= since_us]
+        return sum(relevant) / len(relevant) if relevant else 0.0

@@ -1,0 +1,78 @@
+"""Exception hierarchy for the V-System reproduction.
+
+Every exception raised by this package derives from :class:`ReproError`,
+so callers can catch the whole family with one clause.  Subsystems raise
+their own subclass; errors that model *protocol-level* outcomes (e.g. an
+IPC send timing out because the destination host crashed) are distinct
+from programming errors, which raise plain ``ValueError``/``TypeError``.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine was used incorrectly or reached an
+    inconsistent state (e.g. scheduling an event in the past)."""
+
+
+class KernelError(ReproError):
+    """A simulated V-kernel operation failed (bad pid, dead process,
+    exhausted memory, illegal state transition)."""
+
+
+class NoSuchProcessError(KernelError):
+    """A pid did not resolve to a live process."""
+
+
+class NoSuchLogicalHostError(KernelError):
+    """A logical-host-id did not resolve to a live logical host."""
+
+
+class OutOfMemoryError(KernelError):
+    """A workstation could not allocate the requested address space."""
+
+
+class IpcError(ReproError):
+    """An interprocess-communication operation failed."""
+
+
+class SendTimeoutError(IpcError):
+    """A Send exhausted its retransmissions without any response --
+    the V kernel's signal that the destination host is down."""
+
+
+class CopyFailedError(IpcError):
+    """A CopyTo/CopyFrom bulk transfer could not be completed."""
+
+
+class ExecutionError(ReproError):
+    """Remote program execution failed."""
+
+
+class NoCandidateHostError(ExecutionError):
+    """No workstation answered the ``@ *`` candidate-host query."""
+
+
+class ProgramNotFoundError(ExecutionError):
+    """The named program image does not exist on any file server."""
+
+
+class DeviceAccessError(ExecutionError):
+    """A program that directly accesses hardware devices was asked to run
+    remotely (or migrate); the paper explicitly forbids this."""
+
+
+class MigrationError(ReproError):
+    """A migration attempt failed."""
+
+
+class MigrationAbortedError(MigrationError):
+    """The destination host failed mid-transfer; the original copy was
+    unfrozen and remains authoritative (paper section 3.1.3)."""
+
+
+class NotMigratableError(MigrationError):
+    """The logical host cannot be migrated (device bindings or it is a
+    host-resident server)."""

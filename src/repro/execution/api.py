@@ -1,0 +1,225 @@
+"""Client library for remote execution (the paper's "standard library
+routine that can be directly invoked by arbitrary programs", §2).
+
+These are generator helpers used with ``yield from`` inside a process
+body.  The execution protocol mirrors §2.1:
+
+1. the requester selects a program manager -- its own (local), the one
+   answering a ``query-host`` for a named machine (``@ machine``), or the
+   first responder to a candidate query (``@ *``);
+2. it sends ``create-program``; the program manager builds the address
+   space, creates the initial process awaiting its start, and has the
+   image loaded from a file server;
+3. the requester initializes the new program -- arguments, default I/O,
+   environment variables and name cache travel in the start message --
+   and starts it in execution.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.errors import (
+    ExecutionError,
+    NoCandidateHostError,
+    NoSuchProcessError,
+    SendTimeoutError,
+)
+from repro.ipc.messages import Message
+from repro.kernel.ids import PROGRAM_MANAGER_GROUP, Pid
+from repro.kernel.process import Receive, Reply, Send, Touch
+from repro.execution.environment import ProgramContext
+
+#: Size of the serialized arguments/environment written into a fresh
+#: program space at startup (costs wire time on the start message).
+ENV_SEGMENT_BYTES = 1024
+
+
+def boot_body(body_factory):
+    """The standard prologue wrapped around every program body.
+
+    The initial process waits for its creator's start message (carrying
+    the :class:`ProgramContext`), acknowledges it, writes its arguments
+    and environment into its address space, runs the program, and finally
+    reports its exit to the program manager that created it so that
+    ``wait-program`` rendezvous complete.
+    """
+    sender, start = yield Receive()
+    ctx: ProgramContext = start["context"]
+    yield Reply(sender, Message("program-started"))
+    # Materialize args/env/name-cache in our own address space: this is
+    # program state now, so it migrates with us (paper §3.3).
+    yield Touch(0, ENV_SEGMENT_BYTES)
+    try:
+        code = yield from body_factory(ctx)
+        code = code if isinstance(code, int) else 0
+        crashed = None
+    except Exception as exc:  # noqa: BLE001 - the program crashed
+        code, crashed = -1, exc
+    # Report the exit to the program manager of whatever workstation we
+    # are running on *now*: the well-known local group follows the
+    # program across migrations, so this never touches the old host
+    # (paper §3.3: program-manager state is part of the migrated state).
+    # Crashes are reported too -- anyone blocked in wait-program must be
+    # released, not left hanging on reply-pending packets forever.
+    try:
+        yield Send(
+            ctx.program_manager,
+            Message("program-exited", pid=ctx.self_pid, code=code),
+        )
+    except (SendTimeoutError, NoSuchProcessError):
+        pass  # no manager left to notify
+    if crashed is not None:
+        raise crashed
+    return code
+
+
+def select_candidate_host(memory_needed: int = 0):
+    """``@ *``: multicast a candidate query to the program-manager group
+    and take the first response (generator; returns the reply Message
+    with ``pm``, ``host``, ``load`` fields)."""
+    try:
+        reply = yield Send(
+            PROGRAM_MANAGER_GROUP,
+            Message("find-candidates", memory_needed=memory_needed),
+        )
+    except SendTimeoutError:
+        raise NoCandidateHostError("no workstation answered the candidate query")
+    return reply
+
+
+def query_host_by_name(hostname: str):
+    """``@ machine``: ask the program-manager group for the named host's
+    manager (generator; returns its pid)."""
+    try:
+        reply = yield Send(
+            PROGRAM_MANAGER_GROUP, Message("query-host", hostname=hostname)
+        )
+    except SendTimeoutError:
+        raise ExecutionError(f"no workstation named {hostname!r} responded")
+    return reply["pm"]
+
+
+def exec_program(
+    ctx: ProgramContext,
+    program: str,
+    args: Tuple[str, ...] = (),
+    where: str = "local",
+    lhid: Optional[int] = None,
+):
+    """Execute ``program`` and return ``(pid, origin_pm)``.
+
+    ``where`` is ``"local"``, ``"*"`` (random idle machine), or a
+    workstation name; ``lhid`` runs the program inside an existing
+    logical host (sub-programs "typically execute within a single
+    logical host", §3).  Generator helper::
+
+        pid, pm = yield from exec_program(ctx, "cc68", ("prog.c",), where="*")
+    """
+    # A sub-program of a remotely executed program is part of the remote
+    # job: it inherits remote status (and with it REMOTE priority) even
+    # when spawned on the local machine.
+    remote = where != "local" or ctx.remote
+    attempts = 3 if where == "*" else 1
+    reply = None
+    for attempt in range(attempts):
+        if where == "local":
+            pm: Pid = ctx.program_manager
+        elif where == "*":
+            candidate = yield from select_candidate_host()
+            pm = candidate["pm"]
+        else:
+            pm = yield from query_host_by_name(where)
+        reply = yield Send(
+            pm,
+            Message(
+                "create-program",
+                program=program,
+                args=tuple(args),
+                remote=remote,
+                lhid=lhid,
+            ),
+        )
+        if reply.kind == "program-created":
+            break
+        # Candidate answers are optimistic: by creation time the winner
+        # may have filled up (several ``@ *`` requests race to the same
+        # lightly-loaded host).  Re-select and try elsewhere.
+        if where != "*" or "bytes requested" not in reply.get("error", ""):
+            break
+    if reply.kind != "program-created":
+        raise ExecutionError(reply.get("error", "program creation failed"))
+    new_pid: Pid = reply["pid"]
+    child_ctx = ctx.rebound_to(new_pid)
+    child_ctx.args = tuple(args)
+    child_ctx.remote = remote
+    child_ctx.origin_pm = reply["origin_pm"]
+    started = yield Send(
+        new_pid,
+        Message(
+            "start-program",
+            context=child_ctx,
+            extra_bytes=ENV_SEGMENT_BYTES,
+        ),
+    )
+    if started.kind != "program-started":
+        raise ExecutionError(f"program {program} failed to start")
+    return new_pid, reply["origin_pm"]
+
+
+def wait_for_program(origin_pm: Optional[Pid], pid: Pid):
+    """Block until the program exits; returns its exit code.
+
+    The wait is a deferred-reply rendezvous at the program manager of the
+    workstation *currently* running the program (addressed through the
+    well-known local group, so the rendezvous follows migrations);
+    reply-pending packets keep the waiter alive however long the program
+    runs.  A ``retry-elsewhere`` answer means the program migrated while
+    we waited: re-send, and the local group routes to its new home.
+    ``origin_pm`` is accepted for information only (generator helper).
+    """
+    from repro.kernel.ids import local_program_manager_group
+    from repro.kernel.process import Delay
+
+    group = local_program_manager_group(pid.logical_host_id)
+    target = origin_pm if origin_pm is not None else group
+    retries = 0
+    while True:
+        try:
+            reply = yield Send(target, Message("wait-program", pid=pid))
+        except SendTimeoutError:
+            if target == group:
+                raise ExecutionError(
+                    f"no workstation hosts {pid} and its origin manager is gone"
+                )
+            target = group
+            continue
+        if reply.kind == "program-done":
+            return reply["code"]
+        if reply.kind == "retry-elsewhere":
+            retries += 1
+            if retries > 100:
+                raise ExecutionError(f"lost track of {pid} while waiting")
+            target = group
+            yield Delay(10_000)
+            continue
+        raise ExecutionError(reply.get("error", "wait failed"))
+
+
+def exec_and_wait(
+    ctx: ProgramContext,
+    program: str,
+    args: Tuple[str, ...] = (),
+    where: str = "local",
+):
+    """Run a program to completion; returns its exit code (generator)."""
+    pid, origin_pm = yield from exec_program(ctx, program, args, where)
+    code = yield from wait_for_program(origin_pm, pid)
+    return code
+
+
+def write_stdout(ctx: ProgramContext, text: str):
+    """Print a line via the (possibly remote) display server (generator)."""
+    if ctx.stdout is None:
+        return
+    yield Send(ctx.stdout, Message("display", text=text))

@@ -1,0 +1,99 @@
+"""Program images and the registry file servers serve them from.
+
+A :class:`ProgramImage` is the simulation's stand-in for an executable
+file: a name, a size (which determines load time -- the paper's 330 ms
+per 100 KB), a code/data split (which determines how much of the address
+space never re-dirties during pre-copy), and a *body factory* producing
+the generator that models the program's execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from repro.config import PAGE_SIZE
+from repro.errors import ProgramNotFoundError
+from repro.kernel.address_space import AddressSpace
+
+
+@dataclass(frozen=True)
+class ProgramImage:
+    """One executable program known to the file servers."""
+
+    name: str
+    #: Size of the program image file (code + initialized data); this is
+    #: what gets loaded over the network.
+    image_bytes: int
+    #: Total address-space size once running (image + heap + stack).
+    space_bytes: int
+    #: Bytes of pure code within the image (never written after load).
+    code_bytes: int
+    #: Generator factory: ``body_factory(ctx)`` -> program body.
+    body_factory: Callable = None
+    #: Programs that access hardware devices directly cannot be executed
+    #: remotely or migrated (paper §2).
+    device_bound: bool = False
+
+    def __post_init__(self):
+        if self.image_bytes <= 0 or self.space_bytes < self.image_bytes:
+            raise ValueError(
+                f"{self.name}: need 0 < image_bytes <= space_bytes, got "
+                f"{self.image_bytes}/{self.space_bytes}"
+            )
+        if not 0 <= self.code_bytes <= self.image_bytes:
+            raise ValueError(f"{self.name}: code_bytes outside image")
+
+    @property
+    def data_bytes(self) -> int:
+        """Initialized-data portion of the image."""
+        return self.image_bytes - self.code_bytes
+
+    @property
+    def image_pages(self) -> int:
+        """Pages occupied by the loadable image."""
+        return (self.image_bytes + PAGE_SIZE - 1) // PAGE_SIZE
+
+
+class ProgramRegistry:
+    """Name → image map, shared by the cluster's file servers (modelling
+    a common network file system)."""
+
+    def __init__(self):
+        self._images: Dict[str, ProgramImage] = {}
+        #: Master page images for CopyTo-based loading, one address space
+        #: per program, pages pre-written once (the "file contents").
+        self._masters: Dict[str, AddressSpace] = {}
+
+    def register(self, image: ProgramImage) -> ProgramImage:
+        """Add (or replace) a program image."""
+        self._images[image.name] = image
+        master = AddressSpace(
+            max(image.image_bytes, PAGE_SIZE), image.code_bytes,
+            image.data_bytes, name=f"image:{image.name}",
+        )
+        master.load_image()
+        self._masters[image.name] = master
+        return image
+
+    def lookup(self, name: str) -> ProgramImage:
+        """The image for ``name``, or raise :class:`ProgramNotFoundError`."""
+        image = self._images.get(name)
+        if image is None:
+            raise ProgramNotFoundError(f"no program image named {name!r}")
+        return image
+
+    def master_pages(self, name: str) -> List:
+        """The master pages of an image, for file servers to CopyTo into
+        a freshly created program space."""
+        return list(self._masters[self.lookup(name).name].pages)
+
+    def names(self) -> List[str]:
+        """All registered program names, sorted."""
+        return sorted(self._images)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._images
+
+    def __len__(self) -> int:
+        return len(self._images)

@@ -1,0 +1,29 @@
+"""Network-transparent interprocess communication.
+
+This package implements the V IPC semantics the paper's facilities rest
+on (§2.1, §3.1.3):
+
+* blocking **Send / Receive / Reply** with at-most-once delivery built
+  from retransmission, duplicate suppression and reply retention;
+* **reply-pending** packets that keep a sender alive while its receiver
+  is busy -- or frozen mid-migration;
+* **CopyTo / CopyFrom** bulk transfers used to move address spaces;
+* **process groups** with multicast queries (host selection);
+* the **logical-host binding cache** mapping 32-bit pids to 48-bit
+  Ethernet addresses, whose invalidate-and-rebroadcast path is exactly
+  what rebinds references after a migration (§3.1.4).
+"""
+
+from repro.ipc.messages import Message
+from repro.ipc.binding_cache import BindingCache
+from repro.ipc.groups import GroupTable
+from repro.ipc.transport import ClientRecord, ServerRecord, Transport
+
+__all__ = [
+    "Message",
+    "BindingCache",
+    "GroupTable",
+    "Transport",
+    "ClientRecord",
+    "ServerRecord",
+]

@@ -1,0 +1,275 @@
+"""Bulk page transfers: the CopyTo/CopyFrom engine.
+
+V moves address-space contents with interprocess copy operations
+(paper §3.1.1: "the standard interprocess copy operations, CopyTo and
+CopyFrom, [are] used to copy the bulk of the program state").  The
+engine paces page-sized data packets at the calibrated 3 s/MB, ends each
+run with an acknowledgement hand-shake, and recovers lost packets by
+**selective retransmission**: the receiver NAKs exactly the missing page
+indexes rather than forcing a restart of a multi-second stream.
+
+The engine is owned by (and operates on the private state of) one
+:class:`~repro.ipc.transport.Transport`; it exists as its own module
+because the streaming/recovery logic is a protocol of its own.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.config import PAGE_SIZE
+from repro.errors import NoSuchProcessError
+from repro.kernel.ids import Pid
+from repro.net.packet import Packet
+
+
+class PageSnapshot:
+    """An (index, version) capture of one page at its send instant."""
+
+    __slots__ = ("index", "version")
+
+    def __init__(self, index: int, version: int):
+        self.index = index
+        self.version = version
+
+
+class CopyEngine:
+    """Paced, loss-recovering page streams for one transport."""
+
+    def __init__(self, transport):
+        self.transport = transport
+        self.sim = transport.sim
+        self.model = transport.model
+        self.nic = transport.nic
+        #: In-progress inbound copies: (src, seq) -> buffered snapshots.
+        self.inbound: Dict[Tuple[Pid, int], list] = {}
+        #: CopyFrom requests we served: (src, seq) -> source pid, kept for
+        #: selective retransmission of lost reply pages.
+        self.served_copyfrom: Dict[Tuple[Pid, int], Pid] = {}
+
+    # ------------------------------------------------------------ utilities
+
+    def find_copy_target(self, dst: Pid):
+        """The local PCB whose space a copy addresses (stubs included)."""
+        lh = self.transport.kernel.logical_hosts.get(dst.logical_host_id)
+        if lh is None:
+            return None
+        return lh.find_process(dst.local_index)
+
+    def _client(self, payload):
+        return self.transport._clients.get((payload["src"], payload["seq"]))
+
+    # ------------------------------------------------------- CopyTo (push)
+
+    def start_stream(self, record, address) -> None:
+        """Begin (or restart, after a retransmission) a paced CopyTo."""
+        self._send_page(record, address, record.pages, 0)
+
+    def _send_page(self, record, address, pages, i: int) -> None:
+        if record.completed:
+            return
+        if i >= len(pages):
+            self._send_end(record, address)
+            return
+        page = pages[i]
+        snapshot = PageSnapshot(page.index, page.version)
+        self.nic.send(Packet(
+            self.nic.address, address, "copy-data",
+            {"src": record.src_pid, "dst": record.dst, "seq": record.seq,
+             "snapshot": snapshot},
+            PAGE_SIZE,
+        ))
+        self.sim.schedule(
+            self.model.bulk_copy_us(PAGE_SIZE),
+            self._send_page, record, address, pages, i + 1,
+        )
+
+    def _send_end(self, record, address) -> None:
+        self.nic.send(Packet(
+            self.nic.address, address, "copy-end",
+            {"src": record.src_pid, "dst": record.dst, "seq": record.seq,
+             "count": len({p.index for p in record.pages}),
+             "indexes": tuple(p.index for p in record.pages)},
+        ))
+
+    def on_copy_nak(self, packet: Packet) -> None:
+        """The receiver is missing specific pages: re-stream just those
+        (selective retransmission), then re-announce the end of the run."""
+        payload = packet.payload
+        record = self._client(payload)
+        if record is None or record.completed or record.op != "copyto":
+            return
+        by_index = {page.index: page for page in record.pages}
+        pages = [by_index[i] for i in payload["missing"] if i in by_index]
+        if pages:
+            self._send_page(record, packet.src, pages, 0)
+
+    def on_copy_data(self, packet: Packet) -> None:
+        payload = packet.payload
+        key = (payload["src"], payload["seq"])
+        self.inbound.setdefault(key, []).append(payload["snapshot"])
+
+    def on_copy_end(self, packet: Packet) -> None:
+        payload = packet.payload
+        src: Pid = payload["src"]
+        dst: Pid = payload["dst"]
+        seq: int = payload["seq"]
+        snapshots = self.inbound.get((src, seq), [])
+        received = {snap.index for snap in snapshots}
+        if len(received) < payload["count"]:
+            # Lost data packets: ask for exactly the missing pages.
+            # Distinct indexes are what count: earlier restarts deliver
+            # duplicates that must not mask a still-missing page.
+            missing = tuple(
+                i for i in payload.get("indexes", ()) if i not in received
+            )
+            if missing:
+                self.nic.send(Packet(
+                    self.nic.address, packet.src, "copy-nak",
+                    {"src": src, "seq": seq, "missing": missing},
+                ))
+            return
+        pcb = self.find_copy_target(dst)
+        if pcb is None:
+            self.transport._send_nak("nak-dead", src, seq, dst, packet.src)
+            return
+        lh = pcb.logical_host
+        if lh is not None and lh.frozen and not lh.is_shell:
+            # Paper footnote 5: "we treat a CopyTo operation to a process
+            # as a request message" -- so a copy into a frozen logical
+            # host defers like any request.  A reply-pending keeps the
+            # sender alive; its retransmission restarts the stream, which
+            # lands wherever the logical host is once unfrozen.
+            self.nic.send(Packet(
+                self.nic.address, packet.src, "reply-pending",
+                {"src": src, "seq": seq},
+            ))
+            return
+        pcb.space.apply_copy(self._dedupe(snapshots).values())
+        self.inbound.pop((src, seq), None)
+        self.nic.send(Packet(
+            self.nic.address, packet.src, "copy-ack",
+            {"src": src, "seq": seq, "count": payload["count"]},
+        ))
+
+    def on_copy_ack(self, packet: Packet) -> None:
+        record = self._client(packet.payload)
+        if record is not None:
+            self.transport._complete_client(record, packet.payload["count"])
+
+    def apply_local_copyto(self, record) -> None:
+        """CopyTo within one workstation: a paced local memcpy."""
+        pcb = self.find_copy_target(record.dst)
+        if pcb is None:
+            self.transport._fail_client(
+                record, NoSuchProcessError(f"{record.dst} not found")
+            )
+            return
+        cost = self.model.local_copy_us_per_page * len(record.pages)
+        snapshots = [PageSnapshot(p.index, p.version) for p in record.pages]
+
+        def apply():
+            target = self.find_copy_target(record.dst)
+            if target is None:
+                self.transport._fail_client(
+                    record, NoSuchProcessError(f"{record.dst} vanished")
+                )
+                return
+            target.space.apply_copy(snapshots)
+            self.transport._complete_client(record, len(snapshots))
+
+        self.sim.schedule(cost, apply)
+
+    # ----------------------------------------------------- CopyFrom (pull)
+
+    def serve_copyfrom(self, src: Pid, seq: int, pcb, payload, origin_addr) -> None:
+        """Answer a CopyFrom: stream the requested pages back."""
+        indexes = payload["indexes"]
+        snapshots = self._snapshot(pcb, indexes)
+        if origin_addr is None:
+            record = self.transport._clients.get((src, seq))
+            if record is not None:
+                cost = self.model.local_copy_us_per_page * len(snapshots)
+                self.sim.schedule(
+                    cost, self.transport._complete_client, record, snapshots
+                )
+            return
+        self.served_copyfrom.setdefault((src, seq), pcb.pid)
+        self._stream_reply(src, seq, snapshots, origin_addr, 0)
+
+    def _snapshot(self, pcb, indexes):
+        return [
+            PageSnapshot(pcb.space.pages[i].index, pcb.space.pages[i].version)
+            for i in indexes
+            if i < len(pcb.space.pages)
+        ]
+
+    def _stream_reply(self, src, seq, snapshots, address, i) -> None:
+        if i < len(snapshots):
+            self.nic.send(Packet(
+                self.nic.address, address, "copyfrom-data",
+                {"src": src, "seq": seq, "snapshot": snapshots[i]},
+                PAGE_SIZE,
+            ))
+            self.sim.schedule(
+                self.model.bulk_copy_us(PAGE_SIZE),
+                self._stream_reply, src, seq, snapshots, address, i + 1,
+            )
+            return
+        self.nic.send(Packet(
+            self.nic.address, address, "copyfrom-end",
+            {"src": src, "seq": seq,
+             "count": len({s.index for s in snapshots}),
+             "indexes": tuple(s.index for s in snapshots)},
+        ))
+
+    def on_copyfrom_nak(self, packet: Packet) -> None:
+        """The requester is missing pages of a CopyFrom we served:
+        re-snapshot and re-stream just those."""
+        payload = packet.payload
+        served_pid = self.served_copyfrom.get((payload["src"], payload["seq"]))
+        if served_pid is None:
+            return
+        pcb = self.find_copy_target(served_pid)
+        if pcb is None:
+            return
+        snapshots = self._snapshot(pcb, payload["missing"])
+        self._stream_reply(payload["src"], payload["seq"], snapshots,
+                           packet.src, 0)
+
+    def on_copyfrom_data(self, packet: Packet) -> None:
+        record = self._client(packet.payload)
+        if record is not None and not record.completed:
+            record.received_snapshots.append(packet.payload["snapshot"])
+
+    def on_copyfrom_end(self, packet: Packet) -> None:
+        payload = packet.payload
+        record = self._client(payload)
+        if record is None or record.completed:
+            return
+        received = {snap.index for snap in record.received_snapshots}
+        if len(received) < payload["count"]:
+            missing = tuple(
+                i for i in payload.get("indexes", ()) if i not in received
+            )
+            if missing:
+                self.nic.send(Packet(
+                    self.nic.address, packet.src, "copyfrom-nak",
+                    {"src": payload["src"], "seq": payload["seq"],
+                     "missing": missing},
+                ))
+            return
+        deduped = self._dedupe(record.received_snapshots)
+        self.transport._complete_client(
+            record, sorted(deduped.values(), key=lambda s: s.index)
+        )
+
+    @staticmethod
+    def _dedupe(snapshots) -> Dict[int, PageSnapshot]:
+        """Newest version per page index wins."""
+        deduped: Dict[int, PageSnapshot] = {}
+        for snap in snapshots:
+            existing = deduped.get(snap.index)
+            if existing is None or snap.version > existing.version:
+                deduped[snap.index] = snap
+        return deduped

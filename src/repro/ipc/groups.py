@@ -1,0 +1,58 @@
+"""Process groups.
+
+V allows a message to be sent to a *group* of processes rather than an
+individual process [Cheriton & Zwaenepoel 1985]; the remote-execution
+facility uses the group of all program managers for host selection, and
+well-known *local* groups to reach the kernel server / program manager
+of whatever workstation a program currently runs on (paper §2).
+
+Membership is decentralized: each kernel's :class:`GroupTable` knows only
+local members.  A send to a global group is a broadcast packet that every
+kernel matches against its own table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+from repro.errors import IpcError
+from repro.kernel.ids import Pid
+
+
+class GroupTable:
+    """Local group memberships for one kernel."""
+
+    def __init__(self):
+        self._members: Dict[Pid, Set[Pid]] = {}
+
+    def join(self, group: Pid, member: Pid) -> None:
+        """Add a local process to a group."""
+        if not group.is_group:
+            raise IpcError(f"{group} is not a group id")
+        if member.is_group:
+            raise IpcError(f"group member {member} must be a process id")
+        self._members.setdefault(group, set()).add(member)
+
+    def leave(self, group: Pid, member: Pid) -> None:
+        """Remove a local process from a group (no-op if absent)."""
+        members = self._members.get(group)
+        if members is not None:
+            members.discard(member)
+            if not members:
+                del self._members[group]
+
+    def leave_all(self, member: Pid) -> None:
+        """Remove a process from every group (on destroy/migrate-away)."""
+        for group in list(self._members):
+            self.leave(group, member)
+
+    def local_members(self, group: Pid) -> List[Pid]:
+        """Local members of a group, sorted for determinism."""
+        return sorted(self._members.get(group, ()))
+
+    def groups_of(self, member: Pid) -> List[Pid]:
+        """Groups the given local process belongs to."""
+        return sorted(g for g, members in self._members.items() if member in members)
+
+    def __len__(self) -> int:
+        return len(self._members)

@@ -1,0 +1,81 @@
+"""The simulated V kernel.
+
+A functionally identical kernel runs on every workstation (paper §2.1).
+It provides:
+
+* **address spaces** grouped into **logical hosts** (:mod:`logical_host`),
+* **processes** identified by ``(logical-host-id, local-index)`` pids
+  (:mod:`ids`, :mod:`process`),
+* a per-workstation priority **scheduler** with preemption
+  (:mod:`scheduler`),
+* the **kernel server** pseudo-process implementing process/memory
+  management operations (:mod:`kernel_server`), and
+* the plumbing that hands arriving packets to the IPC transport
+  (:mod:`kernel`).
+
+The :class:`Workstation` in :mod:`machine` assembles a kernel, a NIC, and
+the standard per-host servers into one bootable simulated machine.
+"""
+
+from repro.kernel.ids import (
+    Pid,
+    GROUP_BIT,
+    KERNEL_SERVER_INDEX,
+    PROGRAM_MANAGER_INDEX,
+    PROGRAM_MANAGER_GROUP,
+    local_kernel_server_group,
+    local_program_manager_group,
+)
+from repro.kernel.address_space import AddressSpace, Page
+from repro.kernel.process import (
+    Compute,
+    CopyFromInstr,
+    CopyToInstr,
+    Delay,
+    Exit,
+    Forward,
+    GetReplies,
+    Pcb,
+    ProcessState,
+    Receive,
+    Reply,
+    Send,
+    Touch,
+    TouchPages,
+    Priority,
+)
+from repro.kernel.logical_host import LogicalHost
+from repro.kernel.scheduler import Scheduler
+from repro.kernel.kernel import Kernel
+from repro.kernel.machine import Workstation
+
+__all__ = [
+    "Pid",
+    "GROUP_BIT",
+    "KERNEL_SERVER_INDEX",
+    "PROGRAM_MANAGER_INDEX",
+    "PROGRAM_MANAGER_GROUP",
+    "local_kernel_server_group",
+    "local_program_manager_group",
+    "AddressSpace",
+    "Page",
+    "Pcb",
+    "ProcessState",
+    "Priority",
+    "Compute",
+    "Touch",
+    "TouchPages",
+    "Send",
+    "Receive",
+    "Reply",
+    "Forward",
+    "GetReplies",
+    "CopyToInstr",
+    "CopyFromInstr",
+    "Delay",
+    "Exit",
+    "LogicalHost",
+    "Scheduler",
+    "Kernel",
+    "Workstation",
+]

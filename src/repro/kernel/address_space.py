@@ -1,0 +1,196 @@
+"""Address spaces with per-page dirty tracking.
+
+Migration correctness and pre-copy performance both hinge on pages:
+the kernel detects modified pages with dirty bits (paper footnote 4) and
+the pre-copy loop repeatedly copies just-dirtied pages.  We do not store
+actual byte contents; instead every page carries a monotonically
+increasing **version** bumped on each write, which lets tests assert that
+a migrated copy is complete (destination versions equal source versions)
+without simulating real memory.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List
+
+from repro.config import PAGE_SIZE
+from repro.errors import KernelError
+
+_space_ids = itertools.count(1)
+
+
+class Page:
+    """One page of a simulated address space."""
+
+    __slots__ = ("index", "version", "dirty", "resident", "referenced")
+
+    def __init__(self, index: int):
+        self.index = index
+        #: Bumped on every write; copied along with the page.
+        self.version = 0
+        #: Modified since the dirty bits were last collected.
+        self.dirty = False
+        #: Present in physical memory (False = paged out, VM mode only).
+        self.resident = True
+        #: Touched since the reference bits were last cleared (VM clock).
+        self.referenced = False
+
+    def write(self) -> None:
+        """Record a store to this page."""
+        self.version += 1
+        self.dirty = True
+        self.referenced = True
+
+    def read(self) -> None:
+        """Record a load from this page."""
+        self.referenced = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(
+            f for f, on in (("D", self.dirty), ("R", self.resident)) if on
+        )
+        return f"<Page {self.index} v{self.version} {flags}>"
+
+
+class AddressSpace:
+    """A simulated V address space (one per team).
+
+    Layout: ``code_bytes`` of read-only text at the bottom, then
+    ``data_bytes`` of initialized data, then the zero-filled heap/stack
+    making up the rest of ``size_bytes``.  The distinction matters to
+    pre-copy: code pages are written once at load and never again, so the
+    first copy round moves them while the program keeps running and later
+    rounds never see them dirty (paper §3.1.2).
+    """
+
+    def __init__(
+        self,
+        size_bytes: int,
+        code_bytes: int = 0,
+        data_bytes: int = 0,
+        name: str = "",
+    ):
+        if size_bytes <= 0:
+            raise KernelError(f"address space size must be positive, got {size_bytes}")
+        if code_bytes + data_bytes > size_bytes:
+            raise KernelError("code + data exceed the address space size")
+        self.space_id = next(_space_ids)
+        self.name = name or f"space-{self.space_id}"
+        self.size_bytes = size_bytes
+        self.code_bytes = code_bytes
+        self.data_bytes = data_bytes
+        n_pages = (size_bytes + PAGE_SIZE - 1) // PAGE_SIZE
+        self.pages: List[Page] = [Page(i) for i in range(n_pages)]
+        #: Demand pager, when the space is virtual-memory managed
+        #: (attached by :func:`repro.vm.attach_pager`).
+        self.pager = None
+
+    # ------------------------------------------------------------ geometry
+
+    @property
+    def n_pages(self) -> int:
+        """Total number of pages."""
+        return len(self.pages)
+
+    @property
+    def code_pages(self) -> int:
+        """Number of pages holding read-only program text."""
+        return (self.code_bytes + PAGE_SIZE - 1) // PAGE_SIZE
+
+    def page_of(self, offset: int) -> Page:
+        """The page containing byte ``offset``."""
+        if not 0 <= offset < self.size_bytes:
+            raise KernelError(
+                f"offset {offset} outside address space of {self.size_bytes} bytes"
+            )
+        return self.pages[offset // PAGE_SIZE]
+
+    # ------------------------------------------------------------- touching
+
+    def touch(self, offset: int, nbytes: int, write: bool = True) -> None:
+        """Record loads/stores over ``[offset, offset+nbytes)``."""
+        if nbytes <= 0:
+            return
+        if offset < 0 or offset + nbytes > self.size_bytes:
+            raise KernelError(
+                f"touch [{offset}, {offset + nbytes}) outside space of "
+                f"{self.size_bytes} bytes"
+            )
+        first = offset // PAGE_SIZE
+        last = (offset + nbytes - 1) // PAGE_SIZE
+        for index in range(first, last + 1):
+            page = self.pages[index]
+            if write:
+                page.write()
+            else:
+                page.read()
+
+    def touch_pages(self, indexes: Iterable[int], write: bool = True) -> None:
+        """Record loads/stores to whole pages by index."""
+        for index in indexes:
+            page = self.pages[index]
+            if write:
+                page.write()
+            else:
+                page.read()
+
+    def load_image(self) -> None:
+        """Mark the whole space written, as a fresh program load does."""
+        for page in self.pages:
+            page.write()
+
+    # ---------------------------------------------------------- dirty bits
+
+    def dirty_pages(self) -> List[Page]:
+        """Pages whose dirty bit is set."""
+        return [p for p in self.pages if p.dirty]
+
+    def dirty_bytes(self) -> int:
+        """Total bytes of dirty pages."""
+        return len(self.dirty_pages()) * PAGE_SIZE
+
+    def collect_dirty(self) -> List[Page]:
+        """Atomically gather-and-clear the dirty set (the kernel's
+        scan-and-reset of the MMU dirty bits)."""
+        collected = []
+        for page in self.pages:
+            if page.dirty:
+                page.dirty = False
+                collected.append(page)
+        return collected
+
+    def clear_referenced(self) -> None:
+        """Clear all reference bits (VM clock hand sweep)."""
+        for page in self.pages:
+            page.referenced = False
+
+    # ------------------------------------------------------------ snapshots
+
+    def version_vector(self) -> Dict[int, int]:
+        """Page-index → version map; equality with another space's vector
+        means the copies are identical."""
+        return {p.index: p.version for p in self.pages}
+
+    def apply_copy(self, pages: Iterable[Page]) -> None:
+        """Install copied pages (by version) into this space, as the
+        receiving kernel does for CopyTo data."""
+        for src in pages:
+            if src.index >= len(self.pages):
+                raise KernelError(
+                    f"copied page {src.index} outside destination space "
+                    f"of {len(self.pages)} pages"
+                )
+            dst = self.pages[src.index]
+            dst.version = src.version
+            dst.resident = True
+
+    def identical_to(self, other: "AddressSpace") -> bool:
+        """Whether the two spaces hold the same page versions."""
+        return (
+            self.size_bytes == other.size_bytes
+            and self.version_vector() == other.version_vector()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<AddressSpace {self.name} {self.size_bytes}B {self.n_pages}p>"

@@ -1,0 +1,23 @@
+"""Measurement and reporting helpers for the experiment harness."""
+
+from repro.metrics.report import (
+    REGISTRY,
+    ExperimentReport,
+    ReportRow,
+    register,
+    render_all,
+)
+from repro.metrics.stats import mean, percentile, stddev
+from repro.metrics.trace_report import TrafficReport
+
+__all__ = [
+    "ExperimentReport",
+    "ReportRow",
+    "REGISTRY",
+    "register",
+    "render_all",
+    "mean",
+    "percentile",
+    "stddev",
+    "TrafficReport",
+]

@@ -1,0 +1,117 @@
+"""Paper-vs-measured experiment reports.
+
+Every benchmark builds an :class:`ExperimentReport` comparing the
+paper's published numbers with what the simulation measured, and
+registers it; the benchmark suite's conftest renders all registered
+reports in the terminal summary and into ``bench_report.txt``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+Number = Union[int, float]
+
+#: Reports registered during this process, in registration order.
+REGISTRY: List["ExperimentReport"] = []
+
+
+@dataclass
+class ReportRow:
+    """One compared metric."""
+
+    metric: str
+    unit: str
+    paper: Optional[Number]
+    measured: Optional[Number]
+    note: str = ""
+
+    @property
+    def ratio(self) -> Optional[float]:
+        """measured / paper, when both are meaningful."""
+        if self.paper in (None, 0) or self.measured is None:
+            return None
+        return self.measured / self.paper
+
+
+@dataclass
+class ExperimentReport:
+    """All compared metrics of one experiment (one table/figure)."""
+
+    exp_id: str
+    title: str
+    rows: List[ReportRow] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(
+        self,
+        metric: str,
+        unit: str,
+        paper: Optional[Number],
+        measured: Optional[Number],
+        note: str = "",
+    ) -> "ExperimentReport":
+        """Append one comparison row (chainable)."""
+        self.rows.append(ReportRow(metric, unit, paper, measured, note))
+        return self
+
+    def note(self, text: str) -> "ExperimentReport":
+        """Append a free-form footnote."""
+        self.notes.append(text)
+        return self
+
+    # ------------------------------------------------------------ rendering
+
+    @staticmethod
+    def _fmt(value: Optional[Number]) -> str:
+        if value is None:
+            return "-"
+        if isinstance(value, float):
+            if value == 0:
+                return "0"
+            if abs(value) >= 100:
+                return f"{value:,.0f}"
+            if abs(value) >= 1:
+                return f"{value:,.2f}"
+            return f"{value:.3f}"
+        return f"{value:,}"
+
+    def render(self) -> str:
+        """An aligned text table."""
+        header = ["metric", "unit", "paper", "measured", "ratio", "note"]
+        body = []
+        for row in self.rows:
+            ratio = f"{row.ratio:.2f}x" if row.ratio is not None else "-"
+            body.append([
+                row.metric, row.unit, self._fmt(row.paper),
+                self._fmt(row.measured), ratio, row.note,
+            ])
+        widths = [
+            max(len(header[i]), *(len(line[i]) for line in body)) if body else len(header[i])
+            for i in range(len(header))
+        ]
+        lines = [f"== {self.exp_id}: {self.title} =="]
+        lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip())
+        lines.append("  ".join("-" * w for w in widths))
+        for line in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(line, widths)).rstrip())
+        for text in self.notes:
+            lines.append(f"  note: {text}")
+        return "\n".join(lines)
+
+
+def register(report: ExperimentReport) -> ExperimentReport:
+    """Add a report to the process-wide registry (idempotent by exp_id:
+    re-registering replaces the previous report)."""
+    for i, existing in enumerate(REGISTRY):
+        if existing.exp_id == report.exp_id:
+            REGISTRY[i] = report
+            return report
+    REGISTRY.append(report)
+    return report
+
+
+def render_all() -> str:
+    """Render every registered report."""
+    return "\n\n".join(report.render() for report in REGISTRY)

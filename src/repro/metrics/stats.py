@@ -1,0 +1,30 @@
+"""Tiny statistics helpers (no numpy dependency in the core library)."""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+
+def mean(values: Sequence[float]) -> float:
+    """Arithmetic mean; 0.0 for an empty sequence."""
+    return sum(values) / len(values) if values else 0.0
+
+
+def stddev(values: Sequence[float]) -> float:
+    """Population standard deviation; 0.0 for fewer than two values."""
+    if len(values) < 2:
+        return 0.0
+    mu = mean(values)
+    return math.sqrt(sum((v - mu) ** 2 for v in values) / len(values))
+
+
+def percentile(values: Sequence[float], pct: float) -> float:
+    """Nearest-rank percentile in [0, 100]; 0.0 for empty input."""
+    if not values:
+        return 0.0
+    if not 0 <= pct <= 100:
+        raise ValueError(f"percentile {pct} outside [0, 100]")
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, round(pct / 100 * (len(ordered) - 1))))
+    return ordered[rank]

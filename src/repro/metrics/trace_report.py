@@ -1,0 +1,73 @@
+"""Network-trace analysis: who talked to whom, with what.
+
+Enable packet tracing with ``sim.trace.enable("net")`` and build a
+:class:`TrafficReport` from the recorded transmissions.  Experiment E9
+uses this to show a program's communication paths (Figure 2-1), and the
+residual-dependency tests use it to prove the old host goes quiet after
+a migration.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+
+@dataclass
+class TrafficReport:
+    """Aggregated view of traced network transmissions."""
+
+    #: packet kind -> count.
+    by_kind: Counter = field(default_factory=Counter)
+    #: (src, dst) address-string pair -> count.
+    by_path: Counter = field(default_factory=Counter)
+    #: total payload bytes seen.
+    total_bytes: int = 0
+    #: number of packets seen.
+    total_packets: int = 0
+
+    @classmethod
+    def from_tracer(
+        cls,
+        tracer,
+        since_us: int = 0,
+        until_us: Optional[int] = None,
+    ) -> "TrafficReport":
+        """Build a report from a tracer's ``net``/``transmit`` records."""
+        report = cls()
+        for rec in tracer.filter(category="net", message="transmit"):
+            if rec.time < since_us:
+                continue
+            if until_us is not None and rec.time > until_us:
+                continue
+            report.by_kind[rec.get("kind", "?")] += 1
+            report.by_path[(rec.get("src", "?"), rec.get("dst", "?"))] += 1
+            report.total_bytes += rec.get("size", 0)
+            report.total_packets += 1
+        return report
+
+    def involving(self, address: str) -> int:
+        """Packets sent to or from one host address."""
+        return sum(
+            count for (src, dst), count in self.by_path.items()
+            if src == address or dst == address
+        )
+
+    def between(self, a: str, b: str) -> int:
+        """Packets between two host addresses, either direction."""
+        return self.by_path.get((a, b), 0) + self.by_path.get((b, a), 0)
+
+    def kinds(self) -> List[Tuple[str, int]]:
+        """Packet kinds, most frequent first."""
+        return self.by_kind.most_common()
+
+    def render(self) -> str:
+        """Human-readable summary table."""
+        lines = [
+            f"traffic: {self.total_packets} packets, "
+            f"{self.total_bytes / 1024:.1f} KB payload"
+        ]
+        for kind, count in self.kinds():
+            lines.append(f"  {kind:14s} {count:6d}")
+        return "\n".join(lines)

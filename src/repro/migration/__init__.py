@@ -1,0 +1,46 @@
+"""Preemptable migration of logical hosts -- the paper's §3 facility.
+
+The complete procedure (paper §3.1):
+
+1. locate another workstation willing to accommodate the logical host
+   (via the program-manager group);
+2. initialize the new host to accept it (a *shell* copy under a
+   different logical-host-id);
+3. **pre-copy** the state: one full copy of the address spaces, then
+   repeated copies of the pages dirtied meanwhile, until the dirty set
+   is small or stops shrinking;
+4. freeze the logical host and complete the copy (final dirty pages plus
+   the kernel-server/program-manager state);
+5. unfreeze the new copy, delete the old one, and let references rebind
+   lazily through the binding-cache machinery.
+
+:mod:`precopy` implements step 3 and the policy knobs; :mod:`transfer`
+builds the kernel-state bundle of step 4; :mod:`manager` orchestrates
+the whole procedure as a high-priority process on the source host;
+:mod:`simple` is the freeze-and-copy strawman the paper argues against;
+:mod:`vm_flush` is the §3.2 virtual-memory variant; :mod:`residual`
+audits residual dependencies (§3.3).
+"""
+
+from repro.migration.stats import MigrationStats, RoundStats
+from repro.migration.precopy import PrecopyPolicy, precopy_space, final_copy
+from repro.migration.transfer import extract_bundle, space_descriptors, process_descriptors
+from repro.migration.manager import migration_manager_body, run_migration
+from repro.migration.simple import run_freeze_and_copy
+from repro.migration.residual import ResidualAuditor, residual_dependencies
+
+__all__ = [
+    "MigrationStats",
+    "RoundStats",
+    "PrecopyPolicy",
+    "precopy_space",
+    "final_copy",
+    "extract_bundle",
+    "space_descriptors",
+    "process_descriptors",
+    "migration_manager_body",
+    "run_migration",
+    "run_freeze_and_copy",
+    "ResidualAuditor",
+    "residual_dependencies",
+]

@@ -1,0 +1,82 @@
+"""Client-side migration requests: the ``migrateprog`` library calls.
+
+``migrateprog [-n] [program]`` removes the specified program from the
+workstation; with no program argument it removes all remotely executed
+programs; ``-n`` destroys a program for which no other host can be found
+(paper §3).  The shell command wraps these generator helpers.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import MigrationError
+from repro.ipc.messages import Message
+from repro.kernel.ids import Pid, local_program_manager_group
+from repro.kernel.process import Send
+
+
+def migrate_program(
+    pid: Pid,
+    destroy_if_stranded: bool = False,
+    dest_pm: Optional[Pid] = None,
+    max_attempts: int = 1,
+    via_pm: Optional[Pid] = None,
+):
+    """Ask the program's current host to migrate it away (generator;
+    returns the ``migrated`` reply Message with ``ok``/``dest``/``stats``).
+
+    The managing program manager is first resolved through the
+    well-known local group of the program's logical host (a short,
+    idempotent query), then the long-lived ``migrate-out`` request is
+    addressed to its direct pid -- so that even if the reply packet is
+    lost after the logical host has moved, the requester's retransmission
+    still reaches the manager holding the retained reply rather than
+    re-triggering a migration at the program's new home.  ``via_pm``
+    skips the resolution.
+    """
+    target = via_pm
+    if target is None:
+        identity = yield Send(
+            local_program_manager_group(pid.logical_host_id), Message("whoami")
+        )
+        target = identity["pm"]
+    reply = yield Send(
+        target,
+        Message(
+            "migrate-out",
+            pid=pid,
+            destroy_if_stranded=destroy_if_stranded,
+            dest_pm=dest_pm,
+            max_attempts=max_attempts,
+        ),
+    )
+    if reply.kind == "pm-error":
+        raise MigrationError(reply.get("error", "migration request refused"))
+    return reply
+
+
+def migrate_all_remote(pm: Pid, destroy_if_stranded: bool = False):
+    """``migrateprog`` with no argument: remove every remotely executed
+    program from the workstation whose program manager is ``pm``.
+    Generator; returns a list of ``(pid, reply)`` pairs."""
+    listing = yield Send(pm, Message("query-programs"))
+    results: List[Tuple[Pid, Message]] = []
+    seen_lhids = set()
+    for row in listing["rows"]:
+        if not row["remote"]:
+            continue
+        lhid = row["pid"].logical_host_id
+        if lhid in seen_lhids:
+            continue  # one migration moves the whole logical host
+        seen_lhids.add(lhid)
+        try:
+            reply = yield from migrate_program(
+                row["pid"], destroy_if_stranded=destroy_if_stranded, via_pm=pm
+            )
+        except MigrationError as exc:
+            # A per-program refusal (e.g. another party is already
+            # migrating it) must not abort the rest of the sweep.
+            reply = Message("migrated", ok=False, error=str(exc))
+        results.append((row["pid"], reply))
+    return results

@@ -1,0 +1,110 @@
+"""Residual-dependency detection (paper §3.3).
+
+A migrated program must not continue to depend on its previous host:
+such dependencies impose load on it and turn its failure into the
+program's failure.  The paper's approach is architectural (keep state in
+the address space or in global servers) and it notes "there is currently
+no mechanism for detecting or handling these dependencies" -- flagged as
+future work.  We build that mechanism:
+
+* :func:`residual_dependencies` -- static audit: which of the pids a
+  logical host has communicated with live on a given workstation (the
+  would-be residual dependencies if the program migrated off it);
+* :class:`ResidualAuditor` -- dynamic audit: taps the Ethernet and counts
+  packets that flow between a migrated logical host and its old host
+  after the migration completed (rebinding traffic aside, there should
+  be none).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.kernel.ids import Pid
+from repro.kernel.logical_host import LogicalHost
+from repro.net.addresses import HostAddress
+
+
+@dataclass
+class Dependency:
+    """One server/process a program depends on, and where it lives."""
+
+    pid: Pid
+    host_name: str
+    co_resident: bool  # lives on the workstation under audit
+
+
+def residual_dependencies(lh: LogicalHost, workstation) -> List[Dependency]:
+    """Pids that ``lh`` has sent to which are hosted on ``workstation``
+    (excluding its own processes and the per-host servers reached via
+    well-known local groups, which rebind automatically)."""
+    kernel = workstation.kernel
+    out: List[Dependency] = []
+    for pid in sorted(lh.contacted_pids):
+        if pid.logical_host_id == lh.lhid:
+            continue  # itself
+        if pid.is_group:
+            continue  # group addressing rebinds by construction
+        target = kernel.find_pcb(pid)
+        if target is None:
+            continue  # not on this workstation: no residual tie to it
+        if target.logical_host is workstation.system_lh:
+            continue  # kernel server: rebinding handles it
+        out.append(Dependency(pid=pid, host_name=workstation.name, co_resident=True))
+    return out
+
+
+class ResidualAuditor:
+    """Counts post-migration traffic between a logical host and its old
+    workstation by tapping every transmitted packet."""
+
+    #: Packet kinds that are pure rebinding chatter, expected briefly
+    #: after any migration and not evidence of a residual dependency.
+    REBINDING_KINDS = frozenset(
+        {"ghq", "ghq-reply", "binding", "nak-moved", "reply-pending"}
+    )
+
+    def __init__(self, net):
+        self.net = net
+        self._watches: List[Tuple[int, HostAddress, int]] = []
+        #: (lhid, old_host) -> list of offending packets.
+        self.violations: Dict[Tuple[int, str], List] = {}
+        self._original_transmit = net.transmit
+        net.transmit = self._tap
+
+    def watch(self, lhid: int, old_host_address: HostAddress) -> None:
+        """Start auditing traffic between ``lhid`` and its old host from
+        the current simulated time onward."""
+        self._watches.append((lhid, old_host_address, self.net.sim.now))
+
+    def _tap(self, packet) -> None:
+        for lhid, old_addr, since in self._watches:
+            if self.net.sim.now < since:
+                continue
+            if packet.kind in self.REBINDING_KINDS:
+                continue
+            if not self._involves_lh(packet, lhid):
+                continue
+            if packet.src == old_addr or packet.dst == old_addr:
+                self.violations.setdefault((lhid, str(old_addr)), []).append(packet)
+        self._original_transmit(packet)
+
+    @staticmethod
+    def _involves_lh(packet, lhid: int) -> bool:
+        payload = packet.payload
+        if not isinstance(payload, dict):
+            return False
+        for key in ("src", "dst"):
+            pid = payload.get(key)
+            if isinstance(pid, Pid) and pid.logical_host_id == lhid:
+                return True
+        return False
+
+    def violation_count(self, lhid: int, old_host_address: HostAddress) -> int:
+        """Offending packets recorded for one watch."""
+        return len(self.violations.get((lhid, str(old_host_address)), []))
+
+    def detach(self) -> None:
+        """Stop tapping the network."""
+        self.net.transmit = self._original_transmit

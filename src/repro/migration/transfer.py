@@ -1,0 +1,93 @@
+"""Kernel-state extraction for the atomic transfer (paper §3.1.3).
+
+"The last part of copying the original logical host's state consists of
+copying its state in the kernel server and program manager."  Here that
+is a *bundle*: per-process descriptors (body, scheduling state, send
+sequence counter), the transport records that must travel (outstanding
+client sends, received-or-replied server records), and group
+memberships.  The destination kernel server's ``install-state`` op
+consumes it.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import NotMigratableError
+from repro.kernel.logical_host import LogicalHost
+
+
+def space_descriptors(lh: LogicalHost) -> List[Tuple[int, int, int, str]]:
+    """(size, code, data, name) for each address space, in order."""
+    return [
+        (s.size_bytes, s.code_bytes, s.data_bytes, s.name) for s in lh.spaces
+    ]
+
+
+def process_descriptors(lh: LogicalHost) -> List[Tuple[int, int, str]]:
+    """(local_index, space_ordinal, name) for each live process."""
+    out = []
+    for pcb in lh.live_processes():
+        try:
+            ordinal = lh.spaces.index(pcb.space)
+        except ValueError:
+            raise NotMigratableError(
+                f"{pcb.name} uses an address space outside its logical host"
+            )
+        out.append((pcb.pid.local_index, ordinal, pcb.name))
+    return out
+
+
+def space_representatives(lh: LogicalHost) -> Dict[int, int]:
+    """space ordinal -> local index of a process in that space (CopyTo is
+    addressed at a process, so every space needs one)."""
+    reps: Dict[int, int] = {}
+    for pcb in lh.live_processes():
+        ordinal = lh.spaces.index(pcb.space)
+        reps.setdefault(ordinal, pcb.pid.local_index)
+    for ordinal in range(len(lh.spaces)):
+        if ordinal not in reps:
+            raise NotMigratableError(
+                f"address space #{ordinal} of lh {lh.lhid:#x} has no process "
+                "to address its copy through"
+            )
+    return reps
+
+
+def extract_bundle(kernel, lh: LogicalHost) -> Dict[str, Any]:
+    """Build the kernel-state bundle for a *frozen* logical host.
+
+    Destructive on the source transport (client records are removed); on
+    migration failure the caller must re-adopt them via
+    ``kernel.ipc.adopt_from_migration(bundle['transport'])``.
+    """
+    processes = []
+    for pcb in lh.live_processes():
+        processes.append({
+            "index": pcb.pid.local_index,
+            "name": pcb.name,
+            "priority": pcb.priority,
+            "state": pcb.state,
+            "remaining_us": pcb.remaining_us,
+            "resume_value": pcb.resume_value,
+            "resume_throw": pcb.resume_throw,
+            "wake_pending": pcb.wake_pending,
+            "next_seq": pcb.next_seq,
+            "suspended": pcb.suspended,
+            "body": pcb.body,
+            "cpu_used_us": pcb.cpu_used_us,
+            "messages_sent": pcb.messages_sent,
+            "messages_received": pcb.messages_received,
+            "delay_deadline": pcb.delay_deadline,
+        })
+    groups = {
+        pcb.pid.local_index: kernel.groups.groups_of(pcb.pid)
+        for pcb in lh.live_processes()
+    }
+    transport_state = kernel.ipc.extract_for_migration(lh)
+    return {
+        "lhid": lh.lhid,
+        "processes": processes,
+        "groups": groups,
+        "transport": transport_state,
+    }

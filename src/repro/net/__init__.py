@@ -1,0 +1,27 @@
+"""Simulated 10 Mbit Ethernet: a broadcast bus with loss injection.
+
+The V-system of the paper ran on one (logical) local network.  We model
+it as a shared bus: one transmission at a time, wire time proportional to
+packet size, optional per-packet loss drawn from a seeded stream.  Hosts
+attach a :class:`Nic` whose handler the bus invokes on delivery;
+protocol-processing CPU costs are charged by the IPC transport layer,
+not here.
+"""
+
+from repro.net.addresses import BROADCAST, HostAddress
+from repro.net.packet import Packet
+from repro.net.ethernet import Ethernet
+from repro.net.nic import Nic
+from repro.net.loss import BernoulliLoss, BurstLoss, LossModel, NoLoss
+
+__all__ = [
+    "HostAddress",
+    "BROADCAST",
+    "Packet",
+    "Ethernet",
+    "Nic",
+    "LossModel",
+    "NoLoss",
+    "BernoulliLoss",
+    "BurstLoss",
+]

@@ -1,0 +1,100 @@
+"""The shared-bus Ethernet model.
+
+One transmission at a time: a send that finds the bus busy queues behind
+the in-flight frame (this is what makes bulk CopyTo traffic contend with
+IPC traffic, as on the paper's real 10 Mbit segment).  Broadcast frames
+are delivered to every attached NIC except the sender's.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.config import DEFAULT_MODEL, HardwareModel
+from repro.errors import SimulationError
+from repro.net.addresses import HostAddress
+from repro.net.loss import LossModel, NoLoss
+from repro.net.packet import Packet
+
+
+class Ethernet:
+    """A single broadcast segment connecting all simulated hosts."""
+
+    def __init__(
+        self,
+        sim,
+        model: HardwareModel = DEFAULT_MODEL,
+        loss: Optional[LossModel] = None,
+    ):
+        self.sim = sim
+        self.model = model
+        self.loss = loss if loss is not None else NoLoss()
+        self._nics: Dict[HostAddress, "Nic"] = {}
+        #: Earliest time the bus is free for the next transmission.
+        self._busy_until = 0
+        #: Counters for experiment reports.
+        self.packets_sent = 0
+        self.packets_dropped = 0
+        self.bytes_sent = 0
+
+    # ----------------------------------------------------------- attachment
+
+    def attach(self, nic: "Nic") -> None:
+        """Connect a NIC to the segment; its address must be unique."""
+        if nic.address in self._nics:
+            raise SimulationError(f"duplicate host address {nic.address}")
+        if nic.address.is_broadcast:
+            raise SimulationError("cannot attach a NIC at the broadcast address")
+        self._nics[nic.address] = nic
+        nic.ethernet = self
+
+    def detach(self, nic: "Nic") -> None:
+        """Disconnect a NIC (host crash/power-off); in-flight frames to it
+        are lost."""
+        self._nics.pop(nic.address, None)
+        nic.ethernet = None
+
+    def nic_at(self, address: HostAddress) -> Optional["Nic"]:
+        """The NIC currently attached at ``address``, if any."""
+        return self._nics.get(address)
+
+    @property
+    def addresses(self) -> List[HostAddress]:
+        """Addresses of all attached NICs (sorted for determinism)."""
+        return sorted(self._nics, key=lambda a: a.value)
+
+    # ----------------------------------------------------------- transmission
+
+    def transmit(self, packet: Packet) -> None:
+        """Queue a packet for transmission.
+
+        The frame occupies the bus for its wire time starting when the bus
+        is next free; receivers see it at the end of that interval.
+        """
+        wire_us = self.model.packet_wire_us(packet.size_bytes)
+        start = max(self.sim.now, self._busy_until)
+        done = start + wire_us
+        self._busy_until = done
+        self.packets_sent += 1
+        self.bytes_sent += packet.size_bytes
+        self.sim.trace.record(
+            "net", "transmit", packet_id=packet.packet_id, kind=packet.kind,
+            src=str(packet.src), dst=str(packet.dst), size=packet.size_bytes,
+        )
+        self.sim.schedule_at(done, self._deliver, packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        if packet.is_broadcast:
+            targets = [n for a, n in sorted(self._nics.items(), key=lambda kv: kv[0].value)
+                       if a != packet.src]
+        else:
+            nic = self._nics.get(packet.dst)
+            targets = [nic] if nic is not None else []
+        for nic in targets:
+            if self.loss.drops(self.sim, packet):
+                self.packets_dropped += 1
+                self.sim.trace.record(
+                    "net", "drop", packet_id=packet.packet_id, dst=str(nic.address),
+                )
+                continue
+            nic.receive(packet)

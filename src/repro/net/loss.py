@@ -1,0 +1,70 @@
+"""Packet-loss models for fault injection.
+
+The bus asks its loss model about every packet (per receiver).  Models
+draw from a named stream of the simulator's RNG family, so runs stay
+reproducible and adding a model never perturbs other streams.
+"""
+
+from __future__ import annotations
+
+from repro.net.packet import Packet
+
+
+class LossModel:
+    """Interface: decide whether a packet is lost en route to a receiver."""
+
+    def drops(self, sim, packet: Packet) -> bool:
+        """True if this delivery should be silently dropped."""
+        raise NotImplementedError
+
+
+class NoLoss(LossModel):
+    """Perfect wire; the default."""
+
+    def drops(self, sim, packet: Packet) -> bool:
+        return False
+
+
+class BernoulliLoss(LossModel):
+    """Each delivery is independently lost with fixed probability."""
+
+    def __init__(self, rate: float, stream: str = "net.loss"):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate {rate} outside [0, 1]")
+        self.rate = rate
+        self.stream = stream
+
+    def drops(self, sim, packet: Packet) -> bool:
+        return sim.rand.chance(self.stream, self.rate)
+
+
+class BurstLoss(LossModel):
+    """Gilbert-style two-state burst loss.
+
+    In the *good* state packets pass; in the *bad* state they drop.  Each
+    delivery may flip the state with the configured probabilities, giving
+    correlated loss bursts like a congested or glitching segment.
+    """
+
+    def __init__(
+        self,
+        p_good_to_bad: float = 0.001,
+        p_bad_to_good: float = 0.2,
+        stream: str = "net.burst",
+    ):
+        for name, p in (("p_good_to_bad", p_good_to_bad), ("p_bad_to_good", p_bad_to_good)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name}={p} outside [0, 1]")
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.stream = stream
+        self._bad = False
+
+    def drops(self, sim, packet: Packet) -> bool:
+        if self._bad:
+            if sim.rand.chance(self.stream, self.p_bad_to_good):
+                self._bad = False
+        else:
+            if sim.rand.chance(self.stream, self.p_good_to_bad):
+                self._bad = True
+        return self._bad

@@ -1,0 +1,48 @@
+"""Per-host network interface.
+
+A NIC dispatches received packets to a handler installed by the host's
+kernel.  Packets arriving while no handler is installed (host booting or
+crashed) are counted and dropped, like a real interface with no driver.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.addresses import HostAddress
+from repro.net.packet import Packet
+
+
+class Nic:
+    """A network interface at a fixed host address."""
+
+    def __init__(self, sim, address: HostAddress):
+        self.sim = sim
+        self.address = address
+        self.ethernet = None  # set by Ethernet.attach
+        self._handler: Optional[Callable[[Packet], None]] = None
+        self.received = 0
+        self.dropped_no_handler = 0
+
+    def install_handler(self, handler: Callable[[Packet], None]) -> None:
+        """Install the packet-arrival callback (the kernel's entry point)."""
+        self._handler = handler
+
+    def remove_handler(self) -> None:
+        """Remove the handler; subsequent arrivals are dropped."""
+        self._handler = None
+
+    def send(self, packet: Packet) -> None:
+        """Put a packet on the wire (must be attached to a segment)."""
+        if self.ethernet is None:
+            # Host is detached (crashed); sends vanish, like a dead NIC.
+            return
+        self.ethernet.transmit(packet)
+
+    def receive(self, packet: Packet) -> None:
+        """Called by the segment when a frame arrives for this NIC."""
+        if self._handler is None:
+            self.dropped_no_handler += 1
+            return
+        self.received += 1
+        self._handler(packet)

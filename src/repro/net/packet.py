@@ -1,0 +1,44 @@
+"""Network packets.
+
+A packet carries an opaque ``payload`` (constructed by the IPC transport)
+plus the addressing and size information the bus needs.  ``size_bytes``
+counts payload data only; framing overhead is added by the wire-time
+model in :class:`repro.config.HardwareModel`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.net.addresses import HostAddress
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass(frozen=True)
+class Packet:
+    """One frame on the simulated Ethernet."""
+
+    src: HostAddress
+    dst: HostAddress
+    kind: str
+    payload: Any
+    size_bytes: int = 64
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    def __post_init__(self):
+        if self.size_bytes < 0:
+            raise ValueError(f"negative packet size {self.size_bytes}")
+
+    @property
+    def is_broadcast(self) -> bool:
+        """Whether the packet is addressed to every host."""
+        return self.dst.is_broadcast
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Packet #{self.packet_id} {self.kind} {self.src}->{self.dst} "
+            f"{self.size_bytes}B>"
+        )

@@ -1,0 +1,28 @@
+"""User-level server processes.
+
+Everything outside the V kernel is a server process (paper §2.1): the
+per-workstation **program manager** that creates and manages programs,
+the network **file servers** that diskless workstations load programs
+from, the **display servers** co-resident with their frame buffers, and
+the **name servers** backing the symbolic name cache programs carry in
+their environment.
+"""
+
+from repro.services.file_server import FileServer, install_file_server
+from repro.services.display_server import DisplayServer, install_display_server
+from repro.services.name_server import NameServer, install_name_server
+from repro.services.program_manager import ProgramManager, install_program_manager
+from repro.services.debugger import DebugSession, ProcessSnapshot
+
+__all__ = [
+    "FileServer",
+    "install_file_server",
+    "DisplayServer",
+    "install_display_server",
+    "NameServer",
+    "install_name_server",
+    "ProgramManager",
+    "install_program_manager",
+    "DebugSession",
+    "ProcessSnapshot",
+]

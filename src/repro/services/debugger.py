@@ -1,0 +1,111 @@
+"""Network-transparent debugging.
+
+Paper §6: "even the V debugger can debug local and remote programs with
+no change, using the conventional V IPC primitives for interaction with
+the process being debugged."  This module is that debugger's core: a
+client library of generator helpers that work on *any* pid -- local,
+remote, or mid-migration -- because every operation is an ordinary
+kernel-server request or CopyFrom addressed through the pid itself.
+
+Nothing here knows where the target runs; after the target migrates the
+same ``DebugSession`` keeps working because the well-known local group
+``(target-lhid, kernel-server)`` re-resolves to the new host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ReproError
+from repro.ipc.messages import Message
+from repro.kernel.ids import Pid, local_kernel_server_group
+from repro.kernel.process import CopyFromInstr, Send
+
+
+class DebugError(ReproError):
+    """A debugging operation failed."""
+
+
+@dataclass
+class ProcessSnapshot:
+    """What ``inspect`` returns about a target process."""
+
+    pid: Pid
+    name: str
+    state: str
+    priority: int
+    cpu_used_us: int
+    frozen: bool
+
+
+class DebugSession:
+    """A debugging session bound to one target pid.
+
+    All methods are generator helpers used with ``yield from`` inside the
+    debugger's own process body::
+
+        session = DebugSession(target_pid)
+        yield from session.attach()          # suspend the target
+        snap = yield from session.inspect()
+        pages = yield from session.read_pages([0, 1, 2])
+        yield from session.detach()          # resume it
+    """
+
+    def __init__(self, target: Pid):
+        self.target = target
+        self.attached = False
+
+    @property
+    def _kernel_server(self) -> Pid:
+        """The kernel server of whatever host runs the target *now*."""
+        return local_kernel_server_group(self.target.logical_host_id)
+
+    def _op(self, kind: str, **fields):
+        reply = yield Send(self._kernel_server, Message(kind, **fields))
+        if reply.kind == "ks-error":
+            raise DebugError(reply.get("error", f"{kind} failed"))
+        return reply
+
+    # ------------------------------------------------------------- control
+
+    def attach(self):
+        """Suspend the target so its state holds still (generator)."""
+        yield from self._op("suspend", pid=self.target)
+        self.attached = True
+
+    def detach(self):
+        """Resume the target (generator)."""
+        yield from self._op("resume", pid=self.target)
+        self.attached = False
+
+    def kill(self, exit_code: int = -9):
+        """Destroy the target (generator)."""
+        yield from self._op("destroy-process", pid=self.target,
+                            exit_code=exit_code)
+        self.attached = False
+
+    # ----------------------------------------------------------- inspection
+
+    def inspect(self):
+        """Fetch the target's kernel-visible state (generator; returns a
+        :class:`ProcessSnapshot`)."""
+        reply = yield from self._op("query-process", pid=self.target)
+        return ProcessSnapshot(
+            pid=reply["pid"], name=reply["name"], state=reply["state"],
+            priority=reply["priority"], cpu_used_us=reply["cpu_used_us"],
+            frozen=reply["frozen"],
+        )
+
+    def read_pages(self, indexes: List[int]):
+        """Read page snapshots out of the target's address space via
+        CopyFrom -- memory inspection over ordinary IPC (generator)."""
+        snapshots = yield CopyFromInstr(self.target, indexes)
+        return snapshots
+
+    def where(self):
+        """Which host currently runs the target (generator; returns the
+        host's self-reported time message for liveness plus the kernel
+        answering, i.e. a cheap 'it is alive somewhere' probe)."""
+        reply = yield from self._op("get-time")
+        return reply["now_us"]

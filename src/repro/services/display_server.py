@@ -1,0 +1,69 @@
+"""Display servers.
+
+Programs perform all "terminal output" via a display server that remains
+co-resident with the frame buffer it manages (paper §2).  That is the
+paper's answer to device access: the *server* is bound to the hardware,
+the *program* only holds a globally valid pid for it -- so the program
+can execute anywhere and migrate freely while its output keeps appearing
+on the user's own screen.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.ipc.messages import Message
+from repro.kernel.ids import DISPLAY_SERVER_GROUP, Pid
+from repro.kernel.machine import Workstation
+from repro.kernel.process import Compute, Pcb, Receive, Reply
+from repro.services.service import install_service
+
+#: CPU cost of painting one output line into the frame buffer.
+DISPLAY_LINE_US = 500
+
+
+class DisplayServer:
+    """One workstation's display server (device-bound, never migrates)."""
+
+    def __init__(self, workstation_name: str):
+        self.workstation_name = workstation_name
+        #: Transcript of (time, sender pid, text) tuples, in order.
+        self.transcript: List[Tuple[int, Pid, str]] = []
+        self.pcb: Optional[Pcb] = None
+
+    def lines_from(self, pid: Pid) -> List[str]:
+        """All lines a given process wrote, in order."""
+        return [text for _, sender, text in self.transcript if sender == pid]
+
+    def all_lines(self) -> List[str]:
+        """Every line on the display, in order."""
+        return [text for _, _, text in self.transcript]
+
+    def body(self, sim):
+        """Server loop."""
+        while True:
+            sender, msg = yield Receive()
+            if msg.kind == "display":
+                yield Compute(DISPLAY_LINE_US)
+                self.transcript.append((sim.now, sender, msg["text"]))
+                yield Reply(sender, Message("displayed"))
+            elif msg.kind == "read-transcript":
+                yield Reply(
+                    sender, Message("transcript", lines=tuple(self.all_lines()))
+                )
+            else:
+                yield Reply(sender, Message("ds-error", error=f"unknown {msg.kind!r}"))
+
+
+def install_display_server(workstation: Workstation) -> DisplayServer:
+    """Run a display server on ``workstation``, joined to the global
+    display-server group."""
+    server = DisplayServer(workstation.name)
+    server.pcb = install_service(
+        workstation,
+        server.body(workstation.sim),
+        f"display@{workstation.name}",
+        group=DISPLAY_SERVER_GROUP,
+    )
+    return server

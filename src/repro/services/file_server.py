@@ -1,0 +1,162 @@
+"""Network file servers.
+
+The paper's workstations are diskless: program files are loaded from
+network file servers, so "the cost of program loading is independent of
+whether a program is executed locally or remotely" (§4.1), and file
+access after a migration needs no fixing up because the files were never
+on the execution host to begin with (§3.3).
+
+A file server holds the shared :class:`ProgramRegistry` plus a flat
+named-file store.  Program loading is modelled faithfully: the server
+charges its per-byte read overhead, then CopyTo-streams the image's
+master pages into the target program space over the wire -- together
+reproducing the 330 ms / 100 KB load cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import ProgramNotFoundError
+from repro.ipc.messages import Message
+from repro.kernel.ids import FILE_SERVER_GROUP, Pid
+from repro.kernel.machine import Workstation
+from repro.kernel.process import Compute, CopyToInstr, Pcb, Receive, Reply
+from repro.execution.program import ProgramRegistry
+from repro.services.service import install_service
+
+#: CPU cost per byte of a plain file read/write at the server.
+FILE_IO_US_PER_BYTE = 0.35
+
+#: Fixed per-request cost (directory lookup, block maps).
+FILE_OP_BASE_US = 2_000
+
+
+@dataclass
+class FileEntry:
+    """One stored file."""
+
+    path: str
+    size_bytes: int = 0
+    writes: int = 0
+    reads: int = 0
+
+
+class FileServer:
+    """State of one file server instance (shared registry, own files)."""
+
+    def __init__(self, registry: ProgramRegistry, name: str = "fs"):
+        self.registry = registry
+        self.name = name
+        self.files: Dict[str, FileEntry] = {}
+        self.images_loaded = 0
+        self.bytes_served = 0
+        self.pcb: Optional[Pcb] = None
+
+    # ------------------------------------------------------------ file store
+
+    def write(self, path: str, nbytes: int) -> FileEntry:
+        entry = self.files.get(path)
+        if entry is None:
+            entry = FileEntry(path)
+            self.files[path] = entry
+        entry.size_bytes += nbytes
+        entry.writes += 1
+        return entry
+
+    def read(self, path: str) -> Optional[FileEntry]:
+        entry = self.files.get(path)
+        if entry is not None:
+            entry.reads += 1
+        return entry
+
+    def delete(self, path: str) -> bool:
+        return self.files.pop(path, None) is not None
+
+    # ---------------------------------------------------------------- body
+
+    def body(self):
+        """Server loop."""
+        while True:
+            sender, msg = yield Receive()
+            yield Compute(FILE_OP_BASE_US)
+            kind = msg.kind
+            if kind == "stat-image":
+                yield from self._stat_image(sender, msg)
+            elif kind == "load-image":
+                yield from self._load_image(sender, msg)
+            elif kind == "write-file":
+                nbytes = msg.get("nbytes", 0)
+                yield Compute(int(nbytes * FILE_IO_US_PER_BYTE))
+                entry = self.write(msg["path"], nbytes)
+                yield Reply(sender, Message("fs-ok", size=entry.size_bytes))
+            elif kind == "read-file":
+                entry = self.read(msg["path"])
+                if entry is None:
+                    yield Reply(sender, Message("fs-error", error="no such file"))
+                else:
+                    yield Compute(int(entry.size_bytes * FILE_IO_US_PER_BYTE))
+                    self.bytes_served += entry.size_bytes
+                    yield Reply(sender, Message("fs-ok", size=entry.size_bytes))
+            elif kind == "delete-file":
+                ok = self.delete(msg["path"])
+                yield Reply(sender, Message("fs-ok" if ok else "fs-error"))
+            elif kind == "list-files":
+                yield Reply(sender, Message("fs-ok", paths=sorted(self.files)))
+            else:
+                yield Reply(sender, Message("fs-error", error=f"unknown op {kind!r}"))
+
+    def _stat_image(self, sender, msg):
+        try:
+            image = self.registry.lookup(msg["name"])
+        except ProgramNotFoundError:
+            yield Reply(sender, Message("fs-error", error="no such program"))
+            return
+        yield Reply(
+            sender,
+            Message(
+                "image-stat",
+                name=image.name,
+                image_bytes=image.image_bytes,
+                space_bytes=image.space_bytes,
+                code_bytes=image.code_bytes,
+                device_bound=image.device_bound,
+            ),
+        )
+
+    def _load_image(self, sender, msg):
+        """Stream a program image into the target process's space."""
+        name = msg["name"]
+        target: Pid = msg["target"]
+        try:
+            image = self.registry.lookup(name)
+        except ProgramNotFoundError:
+            yield Reply(sender, Message("fs-error", error="no such program"))
+            return
+        # Server-side read overhead, then the network transfer.
+        yield Compute(int(image.image_bytes * self.registry_read_us_per_byte()))
+        pages = self.registry.master_pages(name)
+        yield CopyToInstr(target, pages)
+        self.images_loaded += 1
+        self.bytes_served += image.image_bytes
+        yield Reply(sender, Message("image-loaded", nbytes=image.image_bytes))
+
+    def registry_read_us_per_byte(self) -> float:
+        """Per-byte server overhead for image reads; taken from the
+        hardware model via the hosting kernel once installed."""
+        if self.pcb is not None:
+            return self.pcb.logical_host.kernel.model.file_server_read_us_per_byte
+        return 0.35
+
+
+def install_file_server(
+    workstation: Workstation, registry: ProgramRegistry, name: str = ""
+) -> FileServer:
+    """Run a file server on ``workstation``, joined to the global
+    file-server group."""
+    server = FileServer(registry, name or f"fs@{workstation.name}")
+    server.pcb = install_service(
+        workstation, server.body(), server.name, group=FILE_SERVER_GROUP
+    )
+    return server

@@ -1,0 +1,60 @@
+"""Name servers: symbolic names → pids.
+
+Name bindings in V are stored both in global servers and in a cache in
+each program's address space (paper §6); keeping them out of per-host
+state is one of the things that leaves migrated programs without
+residual dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.ipc.messages import Message
+from repro.kernel.ids import NAME_SERVER_GROUP, Pid
+from repro.kernel.machine import Workstation
+from repro.kernel.process import Compute, Pcb, Receive, Reply
+from repro.services.service import install_service
+
+#: CPU cost of one directory operation.
+NAME_OP_US = 800
+
+
+class NameServer:
+    """A global name server instance."""
+
+    def __init__(self, name: str = "ns"):
+        self.name = name
+        self.bindings: Dict[str, Pid] = {}
+        self.lookups = 0
+        self.pcb: Optional[Pcb] = None
+
+    def body(self):
+        """Server loop."""
+        while True:
+            sender, msg = yield Receive()
+            yield Compute(NAME_OP_US)
+            if msg.kind == "register-name":
+                self.bindings[msg["name"]] = msg["pid"]
+                yield Reply(sender, Message("ns-ok"))
+            elif msg.kind == "lookup-name":
+                self.lookups += 1
+                pid = self.bindings.get(msg["name"])
+                if pid is None:
+                    yield Reply(sender, Message("ns-error", error="unbound name"))
+                else:
+                    yield Reply(sender, Message("ns-ok", pid=pid))
+            elif msg.kind == "unregister-name":
+                self.bindings.pop(msg["name"], None)
+                yield Reply(sender, Message("ns-ok"))
+            else:
+                yield Reply(sender, Message("ns-error", error=f"unknown {msg.kind!r}"))
+
+
+def install_name_server(workstation: Workstation, name: str = "") -> NameServer:
+    """Run a name server on ``workstation``, joined to the global group."""
+    server = NameServer(name or f"ns@{workstation.name}")
+    server.pcb = install_service(
+        workstation, server.body(), server.name, group=NAME_SERVER_GROUP
+    )
+    return server

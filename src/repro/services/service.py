@@ -1,0 +1,35 @@
+"""Common scaffolding for installing server processes on workstations."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.kernel.ids import Pid
+from repro.kernel.machine import Workstation
+from repro.kernel.process import Pcb, Priority
+
+#: Default address-space size for a server process.
+SERVER_SPACE_BYTES = 128 * 1024
+
+
+def install_service(
+    workstation: Workstation,
+    body,
+    name: str,
+    group: Optional[Pid] = None,
+    space_bytes: int = SERVER_SPACE_BYTES,
+) -> Pcb:
+    """Create a server process in its own logical host on ``workstation``
+    and optionally join it to a global group.
+
+    Server logical hosts are host-bound by convention (the paper notes
+    "floating" servers *could* migrate, but the standard ones manage
+    local devices or local state and stay put).
+    """
+    kernel = workstation.kernel
+    lh = kernel.create_logical_host()
+    kernel.allocate_space(lh, space_bytes, name=f"{name}-space")
+    pcb = kernel.create_process(lh, body, priority=Priority.SERVER, name=name)
+    if group is not None:
+        kernel.groups.join(group, pcb.pid)
+    return pcb

@@ -1,0 +1,16 @@
+"""The command interpreter.
+
+The paper's §2 user interface::
+
+    <program> <arguments> @ <machine-name>
+    <program> <arguments> @ *
+
+plus the management commands of §2/§3: ``ps`` (query program execution
+on a workstation or everywhere), ``kill``/``suspend``/``resume``, and
+``migrateprog [-n] [program]``.
+"""
+
+from repro.shell.parser import Command, ParseError, parse_command
+from repro.shell.shell import Shell
+
+__all__ = ["Command", "ParseError", "parse_command", "Shell"]

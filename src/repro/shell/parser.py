@@ -1,0 +1,84 @@
+"""Command-line parsing for the V shell syntax."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.errors import ReproError
+
+#: Commands the interpreter implements itself rather than executing.
+BUILTINS = frozenset(
+    {"ps", "kill", "suspend", "resume", "migrateprog", "hosts", "wait",
+     "migrations"}
+)
+
+
+class ParseError(ReproError):
+    """The command line could not be parsed."""
+
+
+@dataclass(frozen=True)
+class Command:
+    """One parsed shell command."""
+
+    program: str
+    args: Tuple[str, ...] = ()
+    #: Execution target: "local", "*", or a machine name (paper §2).
+    target: str = "local"
+    #: Run without waiting (trailing ``&``).
+    background: bool = False
+
+    @property
+    def is_builtin(self) -> bool:
+        """Whether this is a shell builtin, not a program."""
+        return self.program in BUILTINS
+
+
+def parse_command(line: str) -> Optional[Command]:
+    """Parse ``prog args [@ target] [&]``; None for blank/comment lines.
+
+    Raises :class:`ParseError` on malformed input (e.g. ``@`` without a
+    target, or a target before any program name).
+    """
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    tokens = stripped.split()
+
+    background = False
+    if tokens[-1] == "&":
+        background = True
+        tokens = tokens[:-1]
+        if not tokens:
+            raise ParseError("'&' with no command")
+    elif tokens[-1].endswith("&") and tokens[-1] != "@":
+        background = True
+        tokens[-1] = tokens[-1][:-1]
+
+    target = "local"
+    if "@" in tokens:
+        at = tokens.index("@")
+        if at == len(tokens) - 1:
+            raise ParseError("'@' requires a machine name or '*'")
+        if at == 0:
+            raise ParseError("no program before '@'")
+        if len(tokens) - at > 2:
+            raise ParseError("only one target allowed after '@'")
+        target = tokens[at + 1]
+        tokens = tokens[:at]
+    else:
+        # Also accept the attached form "prog@machine".
+        head = tokens[0]
+        if "@" in head:
+            name, _, target_part = head.partition("@")
+            if not name or not target_part:
+                raise ParseError(f"malformed target in {head!r}")
+            tokens[0] = name
+            target = target_part
+
+    if not tokens:
+        raise ParseError("no program named")
+    program, *args = tokens
+    return Command(program=program, args=tuple(args), target=target,
+                   background=background)

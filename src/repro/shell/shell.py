@@ -1,0 +1,222 @@
+"""The interactive shell: executes parsed commands on a cluster.
+
+A :class:`Shell` runs as a user-session process on one workstation.  It
+executes scripts (lists of command lines) through the real client
+library -- host selection, program creation, waiting and migration all
+go through IPC exactly as for any other program -- and prints results to
+the workstation's display server.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import (
+    ExecutionError,
+    MigrationError,
+    NoCandidateHostError,
+    ReproError,
+)
+from repro.execution.api import exec_program, wait_for_program, write_stdout
+from repro.ipc.messages import Message
+from repro.kernel.ids import Pid, local_program_manager_group
+from repro.kernel.process import Send
+from repro.migration.migrateprog import migrate_all_remote, migrate_program
+from repro.shell.parser import Command, ParseError, parse_command
+
+
+class Shell:
+    """A scriptable V command interpreter bound to one workstation."""
+
+    def __init__(self, cluster, workstation_name: str):
+        self.cluster = cluster
+        self.workstation = cluster.station(workstation_name)
+        #: Transcript of every line the shell printed (also sent to the
+        #: display server).
+        self.output: List[str] = []
+        #: Programs started in the background: name -> (pid, origin_pm).
+        self.jobs: Dict[str, Tuple[Pid, Pid]] = {}
+        self._job_counter = 0
+        self.pcb = None
+
+    # ------------------------------------------------------------- running
+
+    def run_script(self, lines: List[str], name: str = "shell"):
+        """Spawn the shell session executing ``lines``; returns its PCB."""
+        self.pcb = self.cluster.spawn_session(
+            self.workstation, lambda ctx: self._session(ctx, lines), name=name
+        )
+        return self.pcb
+
+    def _session(self, ctx, lines: List[str]):
+        for line in lines:
+            try:
+                command = parse_command(line)
+            except ParseError as exc:
+                yield from self._print(ctx, f"syntax error: {exc}")
+                continue
+            if command is None:
+                continue
+            try:
+                if command.is_builtin:
+                    yield from self._builtin(ctx, command)
+                else:
+                    yield from self._execute(ctx, command)
+            except (ExecutionError, MigrationError, ReproError) as exc:
+                yield from self._print(ctx, f"{command.program}: {exc}")
+
+    def _print(self, ctx, text: str):
+        self.output.append(text)
+        yield from write_stdout(ctx, text)
+
+    # ------------------------------------------------------------ programs
+
+    def _execute(self, ctx, command: Command):
+        try:
+            pid, origin_pm = yield from exec_program(
+                ctx, command.program, command.args, where=command.target
+            )
+        except NoCandidateHostError:
+            yield from self._print(
+                ctx, f"{command.program}: no idle workstation available"
+            )
+            return
+        if command.background:
+            self._job_counter += 1
+            job = f"%{self._job_counter}"
+            self.jobs[job] = (pid, origin_pm)
+            yield from self._print(ctx, f"[{job}] {command.program} started as {pid}")
+            return
+        code = yield from wait_for_program(origin_pm, pid)
+        yield from self._print(ctx, f"{command.program}: exit {code}")
+
+    # ------------------------------------------------------------ builtins
+
+    def _builtin(self, ctx, command: Command):
+        handler = getattr(self, f"_cmd_{command.program}")
+        yield from handler(ctx, command)
+
+    def _cmd_hosts(self, ctx, command: Command):
+        for ws in self.cluster.workstations:
+            summary = ws.kernel.load_summary()
+            yield from self._print(
+                ctx,
+                f"{ws.name}: {summary['programs']} programs, "
+                f"{summary['memory_free'] // 1024} KB free",
+            )
+
+    def _cmd_ps(self, ctx, command: Command):
+        """``ps [host ...]``: list programs on the named hosts (default
+        all), via each host's program manager."""
+        hosts = command.args or tuple(ws.name for ws in self.cluster.workstations)
+        for host in hosts:
+            pm_pid = self.cluster.pm(host).pcb.pid
+            reply = yield Send(pm_pid, Message("query-programs"))
+            for row in reply["rows"]:
+                tag = "remote" if row["remote"] else "local"
+                frozen = " frozen" if row["frozen"] else ""
+                yield from self._print(
+                    ctx,
+                    f"{host} {row['pid']} {row['name']} "
+                    f"{row['state']} {tag}{frozen}",
+                )
+
+    def _find_job(self, spec: str) -> Optional[Tuple[Pid, Pid]]:
+        return self.jobs.get(spec)
+
+    def _cmd_migrations(self, ctx, command: Command):
+        """``migrations [host ...]``: list completed migrations driven by
+        the named hosts' program managers (default all)."""
+        hosts = command.args or tuple(ws.name for ws in self.cluster.workstations)
+        any_rows = False
+        for host in hosts:
+            pm_pid = self.cluster.pm(host).pcb.pid
+            reply = yield Send(pm_pid, Message("query-migrations"))
+            for row in reply["rows"]:
+                any_rows = True
+                if row["ok"]:
+                    yield from self._print(
+                        ctx,
+                        f"{host}: lh {row['lhid']:#x} -> {row['dest']} "
+                        f"({row['rounds']} rounds, "
+                        f"{row['residual_bytes'] // 1024} KB residual, "
+                        f"frozen {row['freeze_us'] / 1000:.0f} ms)",
+                    )
+                else:
+                    yield from self._print(
+                        ctx, f"{host}: lh {row['lhid']:#x} FAILED: {row['error']}"
+                    )
+        if not any_rows:
+            yield from self._print(ctx, "migrations: none recorded")
+
+    def _cmd_wait(self, ctx, command: Command):
+        """``wait %N``: block until a background job exits."""
+        job = self._find_job(command.args[0]) if command.args else None
+        if job is None:
+            yield from self._print(ctx, f"wait: unknown job {command.args}")
+            return
+        pid, origin_pm = job
+        code = yield from wait_for_program(origin_pm, pid)
+        yield from self._print(ctx, f"wait: {pid} exited {code}")
+
+    def _cmd_kill(self, ctx, command: Command):
+        job = self._find_job(command.args[0]) if command.args else None
+        if job is None:
+            yield from self._print(ctx, f"kill: unknown job {command.args}")
+            return
+        pid, _pm = job
+        reply = yield Send(
+            local_program_manager_group(pid.logical_host_id),
+            Message("kill-program", pid=pid),
+        )
+        yield from self._print(ctx, f"kill: {reply.kind}")
+
+    def _cmd_suspend(self, ctx, command: Command):
+        yield from self._suspend_resume(ctx, command, "suspend-program")
+
+    def _cmd_resume(self, ctx, command: Command):
+        yield from self._suspend_resume(ctx, command, "resume-program")
+
+    def _suspend_resume(self, ctx, command: Command, op: str):
+        job = self._find_job(command.args[0]) if command.args else None
+        if job is None:
+            yield from self._print(ctx, f"{op}: unknown job {command.args}")
+            return
+        pid, _pm = job
+        reply = yield Send(
+            local_program_manager_group(pid.logical_host_id), Message(op, pid=pid)
+        )
+        yield from self._print(ctx, f"{command.program}: {reply.kind}")
+
+    def _cmd_migrateprog(self, ctx, command: Command):
+        """``migrateprog [-n] [job]``: migrate one background job, or all
+        remotely executed programs off this workstation (paper §3)."""
+        args = list(command.args)
+        destroy = "-n" in args
+        if destroy:
+            args.remove("-n")
+        if args:
+            job = self._find_job(args[0])
+            if job is None:
+                yield from self._print(ctx, f"migrateprog: unknown job {args[0]}")
+                return
+            pid, _pm = job
+            reply = yield from migrate_program(pid, destroy_if_stranded=destroy)
+            yield from self._report_migration(ctx, pid, reply)
+        else:
+            pm_pid = self.cluster.pm(self.workstation.name).pcb.pid
+            outcomes = yield from migrate_all_remote(pm_pid, destroy_if_stranded=destroy)
+            if not outcomes:
+                yield from self._print(ctx, "migrateprog: nothing to migrate")
+            for pid, reply in outcomes:
+                yield from self._report_migration(ctx, pid, reply)
+
+    def _report_migration(self, ctx, pid: Pid, reply: Message):
+        if reply.get("ok"):
+            yield from self._print(
+                ctx, f"migrateprog: {pid} moved to {reply.get('dest')}"
+            )
+        else:
+            yield from self._print(
+                ctx, f"migrateprog: {pid} not migrated: {reply.get('error')}"
+            )

@@ -1,0 +1,38 @@
+"""Deterministic discrete-event simulation engine.
+
+The engine drives generator-based coroutines ("tasks") over an integer
+microsecond clock.  A task is an ordinary Python generator that *yields*
+things it wants to wait for:
+
+* an ``int`` -- sleep for that many microseconds;
+* an :class:`Event` -- resume when the event is triggered, receiving the
+  event's value;
+* another :class:`Task` -- resume when that task finishes, receiving its
+  result (or re-raising its exception);
+* :class:`AnyOf` / :class:`AllOf` -- combinators over the above;
+* ``None`` -- yield the floor, resume at the same simulated instant.
+
+Determinism: given the same seed and the same spawn order, every run
+produces an identical event sequence.  All randomness must come from
+:class:`RandomStreams`.
+"""
+
+from repro.sim.engine import Simulator, Timer
+from repro.sim.events import AllOf, AnyOf, Event, Interrupted
+from repro.sim.process import Task, TaskFailed
+from repro.sim.random import RandomStreams
+from repro.sim.trace import TraceRecord, Tracer
+
+__all__ = [
+    "Simulator",
+    "Timer",
+    "Event",
+    "AnyOf",
+    "AllOf",
+    "Interrupted",
+    "Task",
+    "TaskFailed",
+    "RandomStreams",
+    "Tracer",
+    "TraceRecord",
+]

@@ -1,0 +1,160 @@
+"""The discrete-event simulator core: clock, event heap, task spawning."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.events import Event
+from repro.sim.process import Task, TaskFailed
+from repro.sim.random import RandomStreams
+from repro.sim.trace import Tracer
+
+
+class Timer:
+    """Handle for a scheduled callback; supports cancellation."""
+
+    __slots__ = ("time", "fn", "args", "cancelled")
+
+    def __init__(self, time: int, fn: Callable, args: Tuple[Any, ...]):
+        self.time = time
+        self.fn = fn
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing; safe to call repeatedly."""
+        self.cancelled = True
+
+
+class Simulator:
+    """A deterministic discrete-event simulator over integer microseconds.
+
+    Typical usage::
+
+        sim = Simulator(seed=1)
+
+        def hello():
+            yield 1_000          # sleep 1 ms
+            print(sim.now)
+
+        sim.spawn(hello())
+        sim.run()
+
+    All model randomness must come from :attr:`rand` so that equal seeds
+    give equal runs.
+    """
+
+    def __init__(self, seed: int = 0):
+        self._now = 0
+        self._heap: List[Tuple[int, int, Timer]] = []
+        self._seq = 0
+        self._running = False
+        self.rand = RandomStreams(seed)
+        self.trace = Tracer(self)
+        self.failures: List[TaskFailed] = []
+        #: When True (default), :meth:`run` raises the first task failure
+        #: it encounters.  Fault-injection tests set this False and
+        #: inspect :attr:`failures` instead.
+        self.strict = True
+        self._event_count = 0
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def now(self) -> int:
+        """Current simulated time in microseconds."""
+        return self._now
+
+    @property
+    def event_count(self) -> int:
+        """Number of events processed so far (for budget checks)."""
+        return self._event_count
+
+    # ------------------------------------------------------------ scheduling
+
+    def schedule(self, delay_us: int, fn: Callable, *args: Any) -> Timer:
+        """Run ``fn(*args)`` after ``delay_us`` microseconds; returns a
+        cancellable :class:`Timer`."""
+        if delay_us < 0:
+            raise SimulationError(f"cannot schedule {delay_us} us in the past")
+        timer = Timer(self._now + int(delay_us), fn, args)
+        self._seq += 1
+        heapq.heappush(self._heap, (timer.time, self._seq, timer))
+        return timer
+
+    def schedule_at(self, time_us: int, fn: Callable, *args: Any) -> Timer:
+        """Run ``fn(*args)`` at absolute simulated time ``time_us``."""
+        return self.schedule(time_us - self._now, fn, *args)
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh one-shot :class:`Event` bound to this simulator."""
+        return Event(self, name)
+
+    def spawn(self, gen, name: str = "task") -> Task:
+        """Start a generator coroutine as a simulated task."""
+        task = Task(self, gen, name)
+        task._start()
+        return task
+
+    # ----------------------------------------------------------------- run
+
+    def run(
+        self,
+        until_us: Optional[int] = None,
+        max_events: Optional[int] = None,
+    ) -> int:
+        """Process events until the heap drains, ``until_us`` is reached,
+        or ``max_events`` have fired.  Returns the final simulated time.
+
+        With ``until_us`` given, the clock is advanced to exactly
+        ``until_us`` even if the last event fired earlier.
+        """
+        if self._running:
+            raise SimulationError("run() re-entered; the simulator is not reentrant")
+        self._running = True
+        try:
+            budget = max_events if max_events is not None else -1
+            while self._heap:
+                time, _seq, timer = self._heap[0]
+                if until_us is not None and time > until_us:
+                    break
+                heapq.heappop(self._heap)
+                if timer.cancelled:
+                    continue
+                if time < self._now:
+                    raise SimulationError("event heap produced time travel")
+                self._now = time
+                self._event_count += 1
+                timer.fn(*timer.args)
+                if self.strict and self.failures:
+                    raise self.failures[0]
+                if budget > 0:
+                    budget -= 1
+                    if budget == 0:
+                        break
+            if until_us is not None and self._now < until_us:
+                self._now = until_us
+            return self._now
+        finally:
+            self._running = False
+
+    def run_for(self, duration_us: int) -> int:
+        """Advance the clock ``duration_us`` past the current time."""
+        return self.run(until_us=self._now + duration_us)
+
+    def peek(self) -> Optional[int]:
+        """Time of the next live event, or None if the heap is empty."""
+        while self._heap:
+            time, _seq, timer = self._heap[0]
+            if timer.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            return time
+        return None
+
+    # ------------------------------------------------------------- failures
+
+    def _record_failure(self, task: Task, exc: BaseException) -> None:
+        self.failures.append(TaskFailed(task, exc))

@@ -1,0 +1,115 @@
+"""Waitable primitives for the simulation engine.
+
+An :class:`Event` is a one-shot occurrence that tasks can wait on.
+:class:`AnyOf` and :class:`AllOf` combine several waitables.  Triggering
+never runs continuations synchronously -- callbacks are enqueued at the
+current simulated instant, so there is a single, deterministic execution
+stack.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+
+
+class Interrupted(Exception):
+    """Thrown into a task by :meth:`Task.interrupt`.
+
+    Carries an optional ``cause`` describing why the task was interrupted
+    (e.g. "logical host frozen", "host crashed").
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot event with an attached value.
+
+    Tasks wait on an event by yielding it; when some other task (or a
+    scheduled callback) calls :meth:`trigger`, every waiter resumes at the
+    current simulated time and receives the trigger value.
+    """
+
+    __slots__ = ("_sim", "name", "triggered", "value", "_callbacks")
+
+    def __init__(self, sim, name: str = ""):
+        self._sim = sim
+        self.name = name
+        self.triggered = False
+        self.value: Any = None
+        self._callbacks: List[Callable[["Event"], None]] = []
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event, resuming all waiters at the current instant.
+
+        Triggering an already-triggered event is an error: events are
+        one-shot by design (reuse a fresh Event instead).
+        """
+        if self.triggered:
+            raise SimulationError(f"event {self.name!r} triggered twice")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for cb in callbacks:
+            self._sim.schedule(0, cb, self)
+
+    def on_trigger(self, callback: Callable[["Event"], None]) -> None:
+        """Register ``callback(event)`` to run when the event fires.
+
+        If the event already fired, the callback runs at the current
+        instant (still via the event queue, never synchronously).
+        """
+        if self.triggered:
+            self._sim.schedule(0, callback, self)
+        else:
+            self._callbacks.append(callback)
+
+    def remove_callback(self, callback: Callable[["Event"], None]) -> None:
+        """Deregister a pending callback; no-op if absent or already fired."""
+        try:
+            self._callbacks.remove(callback)
+        except ValueError:
+            pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "triggered" if self.triggered else "pending"
+        return f"<Event {self.name!r} {state}>"
+
+
+class AnyOf:
+    """Wait for the first of several waitables.
+
+    Resumes the waiting task with a ``(index, value)`` pair identifying
+    which waitable fired first and what it carried.  Integer members are
+    treated as timeouts, which makes ``AnyOf([event, 1000])`` the idiom
+    for "wait for *event* with a 1 ms timeout".
+    """
+
+    __slots__ = ("waitables",)
+
+    def __init__(self, waitables):
+        self.waitables = list(waitables)
+        if not self.waitables:
+            raise SimulationError("AnyOf requires at least one waitable")
+
+
+class AllOf:
+    """Wait until every member waitable has fired.
+
+    Resumes the waiting task with the list of values, in member order.
+    """
+
+    __slots__ = ("waitables",)
+
+    def __init__(self, waitables):
+        self.waitables = list(waitables)
+        if not self.waitables:
+            raise SimulationError("AllOf requires at least one waitable")
+
+
+#: Sentinel yielded value meaning "give up the floor, resume immediately".
+PASS: Optional[None] = None

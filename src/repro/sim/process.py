@@ -1,0 +1,217 @@
+"""Generator-coroutine tasks driven by the simulation engine.
+
+A :class:`Task` wraps a generator and advances it each time the thing it
+yielded fires.  The yield protocol is documented in
+:mod:`repro.sim.__init__`.
+"""
+
+from __future__ import annotations
+
+import types
+from typing import Any, Callable, List, Optional
+
+from repro.errors import SimulationError
+from repro.sim.events import AllOf, AnyOf, Event, Interrupted
+
+
+class TaskFailed(SimulationError):
+    """Raised by :meth:`Simulator.run` when a task died of an unhandled
+    exception; chains the original via ``__cause__``."""
+
+    def __init__(self, task: "Task", exc: BaseException):
+        super().__init__(f"task {task.name!r} failed: {exc!r}")
+        self.task = task
+        self.exc = exc
+
+
+class Task:
+    """A running simulated activity.
+
+    Do not instantiate directly; use :meth:`Simulator.spawn`.
+    """
+
+    def __init__(self, sim, gen, name: str = "task"):
+        if not isinstance(gen, types.GeneratorType):
+            raise SimulationError(
+                f"spawn() needs a generator, got {type(gen).__name__}; "
+                "did you forget to call the generator function?"
+            )
+        self._sim = sim
+        self._gen = gen
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self.exception: Optional[BaseException] = None
+        self.interrupted = False
+        self._done_callbacks: List[Callable[["Task"], None]] = []
+        #: Monotonic token identifying the current wait; stale resume
+        #: callbacks (e.g. the losing branches of an AnyOf) compare their
+        #: captured token and do nothing if it moved on.
+        self._wait_token = 0
+        self._pending_timer = None
+
+    # ------------------------------------------------------------- waiting
+
+    def on_done(self, callback: Callable[["Task"], None]) -> None:
+        """Register ``callback(task)`` for when this task completes.
+
+        Runs at the current instant (via the event queue) if already done.
+        """
+        if self.finished:
+            self._sim.schedule(0, callback, self)
+        else:
+            self._done_callbacks.append(callback)
+
+    # ------------------------------------------------------------ stepping
+
+    def _start(self) -> None:
+        self._sim.schedule(0, self._step, False, None)
+
+    def _step(self, throw: bool, value: Any) -> None:
+        """Advance the generator one yield, then arm the next wait."""
+        if self.finished:
+            return
+        self._wait_token += 1
+        self._pending_timer = None
+        try:
+            if throw:
+                yielded = self._gen.throw(value)
+            else:
+                yielded = self._gen.send(value)
+        except StopIteration as stop:
+            self._finish(result=stop.value)
+            return
+        except Interrupted:
+            # An Interrupted escaping the generator is normal cancellation.
+            self.interrupted = True
+            self._finish(result=None)
+            return
+        except BaseException as exc:  # noqa: BLE001 - recorded, re-raised by run()
+            self._finish(exception=exc)
+            return
+        try:
+            self._arm(yielded)
+        except SimulationError as exc:
+            self._gen.close()
+            self._finish(exception=exc)
+
+    def _finish(self, result: Any = None, exception: Optional[BaseException] = None) -> None:
+        self.finished = True
+        self.result = result
+        self.exception = exception
+        self._gen.close()
+        if exception is not None:
+            self._sim._record_failure(self, exception)
+        callbacks, self._done_callbacks = self._done_callbacks, []
+        for cb in callbacks:
+            self._sim.schedule(0, cb, self)
+
+    # ------------------------------------------------------ wait conversion
+
+    def _arm(self, yielded: Any) -> None:
+        """Register a continuation for whatever the generator yielded."""
+        token = self._wait_token
+
+        def resume(value: Any = None, throw: bool = False) -> None:
+            if self._wait_token == token and not self.finished:
+                self._step(throw, value)
+
+        if yielded is None:
+            self._sim.schedule(0, resume)
+        elif isinstance(yielded, int):
+            if yielded < 0:
+                raise SimulationError(f"task {self.name!r} yielded negative delay {yielded}")
+            self._pending_timer = self._sim.schedule(yielded, resume)
+        elif isinstance(yielded, float):
+            raise SimulationError(
+                f"task {self.name!r} yielded float delay {yielded}; simulated "
+                "time is integer microseconds -- yield an int"
+            )
+        elif isinstance(yielded, Event):
+            yielded.on_trigger(lambda ev: resume(ev.value))
+        elif isinstance(yielded, Task):
+            def task_done(t: Task) -> None:
+                if t.exception is not None:
+                    resume(t.exception, throw=True)
+                else:
+                    resume(t.result)
+
+            yielded.on_done(task_done)
+        elif isinstance(yielded, AnyOf):
+            self._arm_any(yielded, resume)
+        elif isinstance(yielded, AllOf):
+            self._arm_all(yielded, resume)
+        else:
+            raise SimulationError(
+                f"task {self.name!r} yielded unsupported waitable "
+                f"{type(yielded).__name__}: {yielded!r}"
+            )
+
+    def _arm_any(self, combo: AnyOf, resume) -> None:
+        fired = [False]
+
+        def fire(index: int, value: Any) -> None:
+            if fired[0]:
+                return
+            fired[0] = True
+            resume((index, value))
+
+        for index, member in enumerate(combo.waitables):
+            self._arm_member(member, lambda v, i=index: fire(i, v))
+
+    def _arm_all(self, combo: AllOf, resume) -> None:
+        values: List[Any] = [None] * len(combo.waitables)
+        remaining = [len(combo.waitables)]
+
+        def fire(index: int, value: Any) -> None:
+            values[index] = value
+            remaining[0] -= 1
+            if remaining[0] == 0:
+                resume(list(values))
+
+        seen_once = [False] * len(combo.waitables)
+
+        def fire_once(index: int, value: Any) -> None:
+            if not seen_once[index]:
+                seen_once[index] = True
+                fire(index, value)
+
+        for index, member in enumerate(combo.waitables):
+            self._arm_member(member, lambda v, i=index: fire_once(i, v))
+
+    def _arm_member(self, member: Any, fire: Callable[[Any], None]) -> None:
+        """Attach ``fire(value)`` to one member of a combinator."""
+        if isinstance(member, int):
+            if member < 0:
+                raise SimulationError("negative delay inside combinator")
+            self._sim.schedule(member, fire, None)
+        elif isinstance(member, Event):
+            member.on_trigger(lambda ev: fire(ev.value))
+        elif isinstance(member, Task):
+            member.on_done(lambda t: fire(t.result))
+        else:
+            raise SimulationError(
+                f"unsupported combinator member {type(member).__name__}"
+            )
+
+    # ----------------------------------------------------------- interrupts
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupted` into the task at the current instant.
+
+        Whatever the task was waiting for is abandoned (its callback goes
+        stale).  Interrupting a finished task is a no-op.
+        """
+        if self.finished:
+            return
+        token = self._wait_token
+
+        def do_throw() -> None:
+            if self._wait_token == token and not self.finished:
+                self._step(True, Interrupted(cause))
+
+        self._sim.schedule(0, do_throw)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "running"
+        return f"<Task {self.name!r} {state}>"

@@ -1,0 +1,62 @@
+"""Named, reproducible random streams.
+
+Every source of model randomness (packet loss, workload page choice,
+scheduler jitter, ...) draws from its own named stream so that adding a
+new consumer never perturbs existing ones.  Stream seeds are derived from
+the master seed with SHA-256, which is stable across processes and Python
+versions (unlike ``hash()``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict
+
+
+def derive_seed(master_seed: int, name: str) -> int:
+    """Deterministically derive a 64-bit stream seed from master + name."""
+    digest = hashlib.sha256(f"{master_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class RandomStreams:
+    """A family of independent :class:`random.Random` streams."""
+
+    def __init__(self, master_seed: int = 0):
+        self.master_seed = master_seed
+        self._streams: Dict[str, random.Random] = {}
+
+    def stream(self, name: str) -> random.Random:
+        """The stream for ``name``, created on first use."""
+        stream = self._streams.get(name)
+        if stream is None:
+            stream = random.Random(derive_seed(self.master_seed, name))
+            self._streams[name] = stream
+        return stream
+
+    def uniform(self, name: str, low: float, high: float) -> float:
+        """One uniform draw from the named stream."""
+        return self.stream(name).uniform(low, high)
+
+    def chance(self, name: str, probability: float) -> bool:
+        """Bernoulli draw: True with the given probability."""
+        if probability <= 0.0:
+            return False
+        if probability >= 1.0:
+            return True
+        return self.stream(name).random() < probability
+
+    def randint(self, name: str, low: int, high: int) -> int:
+        """One integer draw in [low, high] from the named stream."""
+        return self.stream(name).randint(low, high)
+
+    def choice(self, name: str, seq):
+        """Choose one element of ``seq`` from the named stream."""
+        return self.stream(name).choice(seq)
+
+    def shuffled(self, name: str, seq) -> list:
+        """A shuffled copy of ``seq`` using the named stream."""
+        items = list(seq)
+        self.stream(name).shuffle(items)
+        return items

@@ -1,0 +1,72 @@
+"""Lightweight event tracing for debugging and experiment reports.
+
+Tracing is off by default (zero-cost beyond one branch).  Enable whole
+categories -- e.g. ``sim.trace.enable("ipc", "migration")`` -- and the
+tracer accumulates :class:`TraceRecord` tuples that tests and the
+benchmark harness can filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Set, Tuple
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced occurrence."""
+
+    time: int
+    category: str
+    message: str
+    data: Tuple[Tuple[str, Any], ...] = ()
+
+    def get(self, key: str, default: Any = None) -> Any:
+        """Value of a data field by name."""
+        for k, v in self.data:
+            if k == key:
+                return v
+        return default
+
+
+class Tracer:
+    """Collects :class:`TraceRecord` for enabled categories."""
+
+    def __init__(self, sim):
+        self._sim = sim
+        self._enabled: Set[str] = set()
+        self.records: List[TraceRecord] = []
+
+    def enable(self, *categories: str) -> None:
+        """Start recording the given categories ('*' records everything)."""
+        self._enabled.update(categories)
+
+    def disable(self, *categories: str) -> None:
+        """Stop recording the given categories."""
+        self._enabled.difference_update(categories)
+
+    def enabled(self, category: str) -> bool:
+        """Whether records in ``category`` are being kept."""
+        return category in self._enabled or "*" in self._enabled
+
+    def record(self, category: str, message: str, **data: Any) -> None:
+        """Append a record if the category is enabled."""
+        if self.enabled(category):
+            self.records.append(
+                TraceRecord(self._sim.now, category, message, tuple(sorted(data.items())))
+            )
+
+    def filter(self, category: Optional[str] = None, message: Optional[str] = None) -> List[TraceRecord]:
+        """Records matching the given category and/or exact message."""
+        out = []
+        for rec in self.records:
+            if category is not None and rec.category != category:
+                continue
+            if message is not None and rec.message != message:
+                continue
+            out.append(rec)
+        return out
+
+    def clear(self) -> None:
+        """Drop all accumulated records."""
+        self.records.clear()

@@ -1,0 +1,21 @@
+"""Demand-paged virtual memory (paper §3.2).
+
+"Work is underway to provide demand paged virtual memory in V, such that
+workstations may page to network file servers.  In this configuration,
+it suffices to flush modified virtual memory pages to the network file
+server rather than explicitly copy the address space...  Then, the new
+host can fault in the pages from the file server on demand."
+
+:class:`Pager` attaches to an address space: touches to non-resident
+pages cost a fault-service round trip to the file server, and dirty
+pages can be flushed back.  :func:`repro.migration.vm_flush` builds the
+alternative migration strategy on top: repeated flushes instead of
+pre-copy rounds, then a freeze, a residual flush, and a kernel-state
+transfer -- after which the destination faults pages in lazily.  Pages
+dirty at the source and then referenced at the destination cross the
+network twice (the trade-off the paper calls out).
+"""
+
+from repro.vm.pager import Pager, attach_pager
+
+__all__ = ["Pager", "attach_pager"]

@@ -1,0 +1,38 @@
+"""Calibrated workload programs.
+
+The paper measured pre-copy behaviour on its C compiler (five
+subprograms plus ``cc68`` and ``make`` control programs) and the TeX
+formatter, reporting their dirty-page generation rates in Table 4-1.
+This package reproduces those workloads as simulated programs whose
+page-dirtying statistics are *fitted to that table*
+(:mod:`dirty_model`, :mod:`table41`), plus the long-running simulation
+jobs §4.3 says the preemption facility proved most useful for.
+"""
+
+from repro.workloads.dirty_model import TwoPoolDirtyModel, fit_two_pool
+from repro.workloads.table41 import (
+    FIT_INTERVALS_S,
+    FITTED_MODELS,
+    TABLE_4_1_KB,
+    dirty_model_for,
+)
+from repro.workloads.base import dirty_workload_body, measure_dirty_kb
+from repro.workloads.programs import (
+    CC68_PHASES,
+    register_standard_programs,
+    standard_registry,
+)
+
+__all__ = [
+    "TwoPoolDirtyModel",
+    "fit_two_pool",
+    "TABLE_4_1_KB",
+    "FITTED_MODELS",
+    "FIT_INTERVALS_S",
+    "dirty_model_for",
+    "dirty_workload_body",
+    "measure_dirty_kb",
+    "CC68_PHASES",
+    "register_standard_programs",
+    "standard_registry",
+]

@@ -1,0 +1,77 @@
+"""Generic workload program bodies.
+
+:func:`dirty_workload_body` turns a dirty model into a runnable program
+body: it alternates CPU bursts with page writes sampled from the model,
+over a working set placed just above the program's code pages (code is
+written once at load and never again -- the property pre-copy exploits).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.config import PAGE_SIZE
+from repro.kernel.process import Compute, TouchPages
+from repro.workloads.dirty_model import TwoPoolDirtyModel
+
+#: Default granularity of the compute/dirty loop.
+DEFAULT_TICK_US = 20_000
+
+
+def dirty_workload_body(
+    model: TwoPoolDirtyModel,
+    duration_us: int,
+    tick_us: int = DEFAULT_TICK_US,
+    base_page: int = 0,
+    stream: str = "workload",
+    on_tick: Optional[Callable[[int], None]] = None,
+):
+    """Body factory: run for ``duration_us``, dirtying pages per ``model``.
+
+    ``base_page`` positions the working set (callers place it after the
+    code pages).  Randomness comes from the simulator's named stream, so
+    runs are reproducible.  Returns a ``body(ctx)`` callable.
+    """
+
+    def body(ctx):
+        sim = _sim_of(ctx)
+        rng = sim.rand.stream(f"{stream}:{ctx.self_pid.as_int():08x}")
+        elapsed = 0
+        while elapsed < duration_us:
+            step = min(tick_us, duration_us - elapsed)
+            yield Compute(step)
+            pages = model.tick_pages(rng, step, base_page)
+            if pages:
+                yield TouchPages(pages)
+            elapsed += step
+            if on_tick is not None:
+                on_tick(elapsed)
+        return 0
+
+    return body
+
+
+def _sim_of(ctx):
+    """The simulator carried by the context; the RNG stream is derived
+    by name from the program's pid, so the sampled dirtying pattern is
+    stable across migrations."""
+    if ctx.sim is None:
+        raise ValueError("workload bodies need a context with ctx.sim set")
+    return ctx.sim
+
+
+def measure_dirty_kb(
+    sim,
+    space,
+    interval_us: int,
+    base_page: int = 0,
+    n_pages: Optional[int] = None,
+) -> float:
+    """Measure KB dirtied in a space over the last interval by scanning
+    and clearing dirty bits (the kernel's own mechanism, footnote 4)."""
+    dirty = space.collect_dirty()
+    relevant = [
+        p for p in dirty
+        if p.index >= base_page and (n_pages is None or p.index < base_page + n_pages)
+    ]
+    return len(relevant) * (PAGE_SIZE / 1024.0)

@@ -1,0 +1,134 @@
+"""The two-pool working-set model of page dirtying.
+
+A program's stores are modelled as two pools of pages written at
+Poisson rates: a small *hot* pool (stack frames, counters, I/O buffers,
+rewritten constantly) and a larger *cold* pool (heap growth, output
+buffers, touched slowly).  The number of distinct pages dirtied in an
+interval ``t`` is then
+
+    D(t) = H * (1 - exp(-w_h t / H)) + C * (1 - exp(-w_c t / C))
+
+which is exactly the expectation of per-page Bernoulli processes at rate
+``w/P`` per page -- so the analytic curve and the discrete sampler used
+by program bodies agree by construction.  The concave shape is what
+makes pre-copying effective: the first copy round takes the longest and
+absorbs the hot set, later rounds see only the slow cold tail
+(paper §3.1.2).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.config import PAGE_SIZE
+
+#: KB per page, for table-unit conversions.
+PAGE_KB = PAGE_SIZE / 1024.0
+
+
+@dataclass(frozen=True)
+class TwoPoolDirtyModel:
+    """Calibrated dirtying behaviour of one program."""
+
+    #: Pages in the hot pool.
+    hot_pages: int
+    #: Total hot-pool write rate, pages/second.
+    hot_writes_per_sec: float
+    #: Pages in the cold pool.
+    cold_pages: int
+    #: Total cold-pool write rate, pages/second.
+    cold_writes_per_sec: float
+
+    def __post_init__(self):
+        if self.hot_pages < 1 or self.cold_pages < 0:
+            raise ValueError("pools must have at least one hot page")
+        if self.hot_writes_per_sec < 0 or self.cold_writes_per_sec < 0:
+            raise ValueError("write rates must be non-negative")
+
+    # ------------------------------------------------------------ analytics
+
+    @property
+    def total_pages(self) -> int:
+        """Pages the model can dirty (working-set footprint)."""
+        return self.hot_pages + self.cold_pages
+
+    def expected_dirty_pages(self, interval_us: int) -> float:
+        """Expected distinct pages dirtied in an interval."""
+        t = interval_us / 1_000_000.0
+        dirty = 0.0
+        for pool, rate in (
+            (self.hot_pages, self.hot_writes_per_sec),
+            (self.cold_pages, self.cold_writes_per_sec),
+        ):
+            if pool > 0 and rate > 0:
+                dirty += pool * (1.0 - math.exp(-rate * t / pool))
+        return dirty
+
+    def expected_dirty_kb(self, interval_us: int) -> float:
+        """Expected KB dirtied in an interval (Table 4-1's unit)."""
+        return self.expected_dirty_pages(interval_us) * PAGE_KB
+
+    # ------------------------------------------------------------- sampling
+
+    def tick_pages(self, rng, tick_us: int, base_page: int = 0) -> List[int]:
+        """Pages (absolute indexes, offset by ``base_page``) written
+        during one tick of ``tick_us``: per-page Bernoulli draws whose
+        expectation matches the analytic curve."""
+        dt = tick_us / 1_000_000.0
+        written: List[int] = []
+        offset = base_page
+        for pool, rate in (
+            (self.hot_pages, self.hot_writes_per_sec),
+            (self.cold_pages, self.cold_writes_per_sec),
+        ):
+            if pool > 0 and rate > 0:
+                p = 1.0 - math.exp(-(rate / pool) * dt)
+                for i in range(pool):
+                    if rng.random() < p:
+                        written.append(offset + i)
+            offset += pool
+        return written
+
+
+def fit_two_pool(
+    targets_kb: Sequence[float],
+    intervals_s: Sequence[float] = (0.2, 1.0, 3.0),
+    hot_candidates: Optional[Iterable[int]] = None,
+    cold_candidates: Optional[Iterable[int]] = None,
+) -> TwoPoolDirtyModel:
+    """Fit a model to measured dirty-KB targets (needs scipy).
+
+    This is the calibration procedure that produced the constants in
+    :mod:`repro.workloads.table41`; it grid-searches integer pool sizes
+    and least-squares the two write rates.
+    """
+    import numpy as np
+    from scipy.optimize import least_squares
+
+    ts = np.asarray(intervals_s, dtype=float)
+    target = np.asarray(targets_kb, dtype=float)
+    hots = list(hot_candidates or (1, 2, 3, 4, 6, 8, 12, 15, 18, 22, 26, 30, 36, 42, 50))
+    colds = list(cold_candidates or (1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128, 160, 224, 320))
+
+    def curve(hot, cold, wh, wc):
+        out = hot * (1 - np.exp(-wh * ts / hot))
+        if cold > 0:
+            out = out + cold * (1 - np.exp(-wc * ts / cold))
+        return out * PAGE_KB
+
+    best_cost, best = math.inf, None
+    for hot in hots:
+        for cold in colds:
+            result = least_squares(
+                lambda p: curve(hot, cold, np.exp(p[0]), np.exp(p[1])) - target,
+                x0=np.log([max(target[0], 0.2), 1.0]),
+                max_nfev=500,
+            )
+            if result.cost < best_cost:
+                best_cost = result.cost
+                wh, wc = np.exp(result.x)
+                best = TwoPoolDirtyModel(hot, float(wh), cold, float(wc))
+    assert best is not None
+    return best

@@ -1,0 +1,56 @@
+"""Table 4-1 of the paper, and the models fitted to it.
+
+The paper reports average dirty-page generation (in KB) over intervals
+of 0.2, 1 and 3 seconds for eight programs: the ``make`` and ``cc68``
+control programs, the five C-compiler phases, and TeX.  The constants
+below were produced by :func:`repro.workloads.dirty_model.fit_two_pool`
+against exactly those numbers; the worst residual is 0.35 KB except for
+the linking loader, whose published row is non-monotone (39.2 KB at 1 s
+but 37.8 KB at 3 s -- measurement noise no monotone model can match;
+ours fits it to within 1.4 KB).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.workloads.dirty_model import TwoPoolDirtyModel
+
+#: The measurement intervals of Table 4-1, in seconds.
+FIT_INTERVALS_S: Tuple[float, float, float] = (0.2, 1.0, 3.0)
+
+#: Table 4-1 verbatim: program -> KB dirtied in 0.2 s / 1 s / 3 s.
+TABLE_4_1_KB: Dict[str, Tuple[float, float, float]] = {
+    "make": (0.8, 1.8, 4.2),
+    "cc68": (0.6, 2.2, 6.2),
+    "preprocessor": (25.0, 40.2, 59.6),
+    "parser": (50.0, 76.8, 109.4),
+    "optimizer": (19.8, 32.2, 41.0),
+    "assembler": (21.6, 33.4, 48.4),
+    "linking_loader": (25.0, 39.2, 37.8),
+    "tex": (68.6, 111.6, 142.8),
+}
+
+#: Two-pool models fitted to the table: (hot pages, hot writes/s,
+#: cold pages, cold writes/s).
+FITTED_MODELS: Dict[str, TwoPoolDirtyModel] = {
+    "make": TwoPoolDirtyModel(1, 0.8789, 128, 0.3878),
+    "cc68": TwoPoolDirtyModel(1, 0.3659, 128, 0.8180),
+    "preprocessor": TwoPoolDirtyModel(15, 108.4609, 160, 5.1786),
+    "parser": TwoPoolDirtyModel(30, 224.6693, 320, 8.5642),
+    "optimizer": TwoPoolDirtyModel(12, 82.1350, 12, 4.9677),
+    "assembler": TwoPoolDirtyModel(12, 101.5996, 32, 5.1146),
+    "linking_loader": TwoPoolDirtyModel(18, 97.1720, 1, 5.3984),
+    "tex": TwoPoolDirtyModel(26, 1500.0, 48, 46.4281),
+}
+
+
+def dirty_model_for(program: str) -> TwoPoolDirtyModel:
+    """The fitted model for one of the paper's measured programs."""
+    try:
+        return FITTED_MODELS[program]
+    except KeyError:
+        raise KeyError(
+            f"{program!r} is not one of the Table 4-1 programs: "
+            f"{sorted(FITTED_MODELS)}"
+        )

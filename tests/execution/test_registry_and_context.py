@@ -1,0 +1,104 @@
+"""Unit tests for the program registry and execution contexts."""
+
+import pytest
+
+from repro.config import PAGE_SIZE
+from repro.errors import ProgramNotFoundError
+from repro.execution import ProgramContext, ProgramImage, ProgramRegistry
+from repro.kernel.ids import (
+    KERNEL_SERVER_INDEX,
+    PROGRAM_MANAGER_INDEX,
+    Pid,
+)
+
+
+def image(name="tool", image_kb=50, space_kb=100, code_kb=40, **kw):
+    return ProgramImage(
+        name=name, image_bytes=image_kb * 1024, space_bytes=space_kb * 1024,
+        code_bytes=code_kb * 1024, body_factory=lambda ctx: iter(()), **kw,
+    )
+
+
+class TestProgramImage:
+    def test_derived_fields(self):
+        img = image()
+        assert img.data_bytes == 10 * 1024
+        assert img.image_pages == (50 * 1024) // PAGE_SIZE
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            image(image_kb=0)
+        with pytest.raises(ValueError):
+            image(image_kb=200, space_kb=100)
+        with pytest.raises(ValueError):
+            image(code_kb=60)  # code > image
+
+    def test_device_bound_flag(self):
+        assert image(device_bound=True).device_bound
+
+
+class TestProgramRegistry:
+    def test_register_and_lookup(self):
+        registry = ProgramRegistry()
+        img = registry.register(image())
+        assert registry.lookup("tool") is img
+        assert "tool" in registry
+        assert len(registry) == 1
+        assert registry.names() == ["tool"]
+
+    def test_lookup_missing_raises(self):
+        with pytest.raises(ProgramNotFoundError):
+            ProgramRegistry().lookup("ghost")
+
+    def test_master_pages_are_prewritten(self):
+        registry = ProgramRegistry()
+        registry.register(image())
+        pages = registry.master_pages("tool")
+        assert len(pages) == (50 * 1024) // PAGE_SIZE
+        assert all(p.version >= 1 for p in pages)
+
+    def test_reregister_replaces(self):
+        registry = ProgramRegistry()
+        registry.register(image())
+        bigger = registry.register(image(image_kb=80, space_kb=120, code_kb=60))
+        assert registry.lookup("tool") is bigger
+        assert len(registry.master_pages("tool")) == (80 * 1024) // PAGE_SIZE
+
+
+class TestProgramContext:
+    def make(self):
+        return ProgramContext(
+            self_pid=Pid(0x30, 1),
+            args=("a", "b"),
+            stdout=Pid(0x20, 1),
+            name_cache={"file-server": Pid(0x21, 1)},
+            origin_pm=Pid(0x22, 1),
+            home="ws0",
+        )
+
+    def test_wellknown_groups_track_own_lhid(self):
+        ctx = self.make()
+        assert ctx.kernel_server.logical_host_id == 0x30
+        assert ctx.kernel_server.index == KERNEL_SERVER_INDEX
+        assert ctx.program_manager.index == PROGRAM_MANAGER_INDEX
+
+    def test_server_lookup(self):
+        ctx = self.make()
+        assert ctx.server("file-server") == Pid(0x21, 1)
+        with pytest.raises(KeyError):
+            ctx.server("database")
+
+    def test_rebound_to_changes_self_only(self):
+        ctx = self.make()
+        child = ctx.rebound_to(Pid(0x31, 1))
+        assert child.self_pid == Pid(0x31, 1)
+        assert child.kernel_server.logical_host_id == 0x31
+        assert child.stdout == ctx.stdout
+        assert child.name_cache == ctx.name_cache
+        assert child.name_cache is not ctx.name_cache  # copied, not shared
+
+    def test_rebound_inherits_home_and_origin(self):
+        ctx = self.make()
+        child = ctx.rebound_to(Pid(0x31, 1))
+        assert child.home == "ws0"
+        assert child.origin_pm == ctx.origin_pm

@@ -1,0 +1,51 @@
+"""Shared test scaffolding: build small clusters of bare workstations
+(no services layer) and run process bodies on them."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.config import DEFAULT_MODEL, HardwareModel
+from repro.kernel import Priority, Workstation
+from repro.net import Ethernet
+from repro.sim import Simulator
+
+
+class BareCluster:
+    """A simulator, an Ethernet, and N bare workstations."""
+
+    def __init__(
+        self,
+        n: int = 2,
+        seed: int = 0,
+        model: HardwareModel = DEFAULT_MODEL,
+        loss=None,
+    ):
+        Workstation.reset_world()
+        self.sim = Simulator(seed=seed)
+        self.model = model
+        self.net = Ethernet(self.sim, model, loss=loss)
+        self.stations: List[Workstation] = [
+            Workstation(self.sim, i, self.net, model) for i in range(n)
+        ]
+
+    def spawn_program(
+        self,
+        station: Workstation,
+        body,
+        space_bytes: int = 64 * 1024,
+        priority: Priority = Priority.LOCAL,
+        name: str = "prog",
+        lh=None,
+    ):
+        """Create a one-process program in its own logical host (unless an
+        existing logical host is supplied).  Returns (lh, pcb)."""
+        kernel = station.kernel
+        if lh is None:
+            lh = kernel.create_logical_host()
+            kernel.allocate_space(lh, space_bytes, name=f"{name}-space")
+        pcb = kernel.create_process(lh, body, priority=priority, name=name)
+        return lh, pcb
+
+    def run(self, until_us: Optional[int] = None) -> int:
+        return self.sim.run(until_us=until_us)

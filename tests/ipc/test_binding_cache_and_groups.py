@@ -1,0 +1,111 @@
+"""Unit tests for the binding cache and group tables."""
+
+import pytest
+
+from repro.errors import IpcError
+from repro.ipc import BindingCache, GroupTable
+from repro.kernel.ids import Pid
+from repro.net.addresses import workstation_address
+from repro.sim import Simulator
+
+
+class TestBindingCache:
+    def make(self):
+        sim = Simulator()
+        return sim, BindingCache(sim)
+
+    def test_lookup_miss_then_hit(self):
+        sim, cache = self.make()
+        assert cache.lookup(5) is None
+        cache.learn(5, workstation_address(0))
+        assert cache.lookup(5) == workstation_address(0)
+        assert cache.misses == 1
+        assert cache.hits == 1
+
+    def test_learn_refreshes_binding(self):
+        sim, cache = self.make()
+        cache.learn(5, workstation_address(0))
+        cache.learn(5, workstation_address(1))
+        assert cache.lookup(5) == workstation_address(1)
+
+    def test_invalidate(self):
+        sim, cache = self.make()
+        cache.learn(5, workstation_address(0))
+        cache.invalidate(5)
+        assert cache.lookup(5) is None
+        assert cache.invalidations == 1
+        cache.invalidate(5)  # idempotent
+        assert cache.invalidations == 1
+
+    def test_entry_age(self):
+        sim, cache = self.make()
+        cache.learn(5, workstation_address(0))
+        sim.run(until_us=1_000)
+        assert cache.entry_age(5) == 1_000
+        assert cache.entry_age(99) is None
+
+    def test_known_lhids_sorted(self):
+        sim, cache = self.make()
+        for lhid in (9, 3, 7):
+            cache.learn(lhid, workstation_address(0))
+        assert cache.known_lhids() == [3, 7, 9]
+
+    def test_len_and_contains(self):
+        sim, cache = self.make()
+        cache.learn(1, workstation_address(0))
+        assert len(cache) == 1
+        assert 1 in cache
+        assert 2 not in cache
+
+
+class TestGroupTable:
+    def test_join_and_members_sorted(self):
+        table = GroupTable()
+        group = Pid(0xFFFF, 0x8001)
+        table.join(group, Pid(2, 1))
+        table.join(group, Pid(1, 1))
+        assert table.local_members(group) == [Pid(1, 1), Pid(2, 1)]
+
+    def test_join_requires_group_id(self):
+        table = GroupTable()
+        with pytest.raises(IpcError):
+            table.join(Pid(1, 1), Pid(2, 2))
+
+    def test_member_must_be_process_id(self):
+        table = GroupTable()
+        with pytest.raises(IpcError):
+            table.join(Pid(0xFFFF, 0x8001), Pid(0xFFFF, 0x8002))
+
+    def test_leave(self):
+        table = GroupTable()
+        group = Pid(0xFFFF, 0x8001)
+        table.join(group, Pid(1, 1))
+        table.leave(group, Pid(1, 1))
+        assert table.local_members(group) == []
+        table.leave(group, Pid(1, 1))  # idempotent
+
+    def test_leave_all(self):
+        table = GroupTable()
+        g1, g2 = Pid(0xFFFF, 0x8001), Pid(0xFFFF, 0x8002)
+        member = Pid(1, 1)
+        table.join(g1, member)
+        table.join(g2, member)
+        table.join(g2, Pid(1, 2))
+        table.leave_all(member)
+        assert table.local_members(g1) == []
+        assert table.local_members(g2) == [Pid(1, 2)]
+
+    def test_groups_of(self):
+        table = GroupTable()
+        g1, g2 = Pid(0xFFFF, 0x8001), Pid(0xFFFF, 0x8002)
+        member = Pid(1, 1)
+        table.join(g1, member)
+        table.join(g2, member)
+        assert table.groups_of(member) == sorted([g1, g2])
+        assert table.groups_of(Pid(9, 9)) == []
+
+    def test_len_counts_groups(self):
+        table = GroupTable()
+        table.join(Pid(0xFFFF, 0x8001), Pid(1, 1))
+        table.join(Pid(0xFFFF, 0x8002), Pid(1, 1))
+        assert len(table) == 2

@@ -1,0 +1,95 @@
+"""Tests for the GetReplies (V GetReply) facility."""
+
+import pytest
+
+from repro.ipc import Message
+from repro.kernel import Delay, GetReplies, Receive, Reply, Send
+from repro.kernel.ids import Pid
+
+from tests.helpers import BareCluster
+
+
+def make_group_world(n_members=3):
+    cluster = BareCluster(n=n_members + 1)
+    group = Pid(0xFFFF, 0x0070 | 0x8000)
+
+    def member(tag):
+        def body():
+            while True:
+                sender, msg = yield Receive()
+                yield Reply(sender, msg.replying(who=tag))
+        return body
+
+    for i, ws in enumerate(cluster.stations[1:]):
+        _, pcb = cluster.spawn_program(ws, member(i)(), name=f"m{i}")
+        ws.kernel.groups.join(group, pcb.pid)
+    return cluster, group
+
+
+def test_get_replies_collects_stragglers():
+    cluster, group = make_group_world(3)
+    got = {}
+
+    def client():
+        first = yield Send(group, Message("query"))
+        got["first"] = first["who"]
+        yield Delay(1_000_000)  # let the other members answer
+        extras = yield GetReplies()
+        got["all"] = sorted(msg["who"] for _, msg in extras)
+
+    cluster.spawn_program(cluster.stations[0], client(), name="client")
+    cluster.run(until_us=10_000_000)
+    assert got["first"] in {0, 1, 2}
+    # Every member's reply was retained, including the winner's.
+    assert got["all"] == [0, 1, 2]
+
+
+def test_get_replies_carries_replier_pids():
+    cluster, group = make_group_world(2)
+    got = {}
+
+    def client():
+        yield Send(group, Message("query"))
+        yield Delay(1_000_000)
+        extras = yield GetReplies()
+        got["repliers"] = {pid for pid, _ in extras}
+
+    cluster.spawn_program(cluster.stations[0], client(), name="client")
+    cluster.run(until_us=10_000_000)
+    assert len(got["repliers"]) == 2
+    assert all(isinstance(pid, Pid) for pid in got["repliers"])
+
+
+def test_get_replies_without_group_send_is_empty():
+    cluster, group = make_group_world(1)
+    got = {}
+
+    def client():
+        got["extras"] = yield GetReplies()
+
+    cluster.spawn_program(cluster.stations[0], client(), name="client")
+    cluster.run(until_us=5_000_000)
+    assert got["extras"] == []
+
+
+def test_host_selection_observes_multiple_candidates():
+    """The paper: 'Typically, the client receives several responses to
+    the request' -- observable through the program-level API."""
+    from repro.cluster import build_cluster
+    from repro.execution import ProgramRegistry
+    from repro.kernel.ids import PROGRAM_MANAGER_GROUP
+
+    cluster = build_cluster(n_workstations=5, registry=ProgramRegistry())
+    got = {}
+
+    def session(ctx):
+        yield Send(PROGRAM_MANAGER_GROUP, Message("find-candidates",
+                                                  memory_needed=0))
+        yield Delay(1_000_000)
+        extras = yield GetReplies()
+        got["hosts"] = sorted(msg["host"] for _, msg in extras)
+
+    cluster.spawn_session(cluster.workstations[0], session)
+    cluster.run(until_us=10_000_000)
+    # ws1..ws4 all answered (broadcasts do not loop back to ws0).
+    assert got["hosts"] == ["ws1", "ws2", "ws3", "ws4"]

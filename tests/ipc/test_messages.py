@@ -1,0 +1,54 @@
+"""Unit tests for IPC messages."""
+
+import pytest
+
+from repro.ipc import Message
+from repro.ipc.messages import MESSAGE_BYTES
+
+
+def test_fields_accessible_as_mapping():
+    msg = Message("greet", who="world", n=3)
+    assert msg["who"] == "world"
+    assert msg.get("n") == 3
+    assert msg.get("absent") is None
+    assert set(msg) == {"who", "n"}
+    assert len(msg) == 2
+
+
+def test_kind_tag():
+    assert Message("x").kind == "x"
+
+
+def test_wire_bytes_includes_segment():
+    assert Message("x").wire_bytes == MESSAGE_BYTES
+    assert Message("x", extra_bytes=100).wire_bytes == MESSAGE_BYTES + 100
+
+
+def test_negative_segment_rejected():
+    with pytest.raises(ValueError):
+        Message("x", extra_bytes=-1)
+
+
+def test_immutable():
+    msg = Message("x", a=1)
+    with pytest.raises(AttributeError):
+        msg.kind = "y"
+
+
+def test_equality():
+    assert Message("x", a=1) == Message("x", a=1)
+    assert Message("x", a=1) != Message("x", a=2)
+    assert Message("x") != Message("y")
+
+
+def test_replying_convention():
+    msg = Message("query-load")
+    reply = msg.replying(ready=2)
+    assert reply.kind == "query-load-reply"
+    assert reply["ready"] == 2
+    custom = msg.replying(kind="load", ready=1)
+    assert custom.kind == "load"
+
+
+def test_hashable():
+    assert hash(Message("x", a=1)) == hash(Message("x", a=1))

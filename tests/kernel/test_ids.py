@@ -1,0 +1,73 @@
+"""Unit tests for pids and group identifiers."""
+
+import pytest
+
+from repro.kernel.ids import (
+    GROUP_BIT,
+    KERNEL_SERVER_INDEX,
+    PROGRAM_MANAGER_GROUP,
+    PROGRAM_MANAGER_INDEX,
+    Pid,
+    is_wellknown_local_group,
+    local_kernel_server_group,
+    local_program_manager_group,
+)
+
+
+def test_pid_packs_into_32_bits():
+    pid = Pid(0x1234, 0x0042)
+    assert pid.as_int() == 0x12340042
+    assert Pid.from_int(0x12340042) == pid
+
+
+def test_pid_fields_validated():
+    with pytest.raises(ValueError):
+        Pid(0x10000, 0)
+    with pytest.raises(ValueError):
+        Pid(0, -1)
+
+
+def test_pid_equality_and_hash():
+    assert Pid(1, 2) == Pid(1, 2)
+    assert hash(Pid(1, 2)) == hash(Pid(1, 2))
+    assert Pid(1, 2) != Pid(1, 3)
+
+
+def test_group_bit_marks_group():
+    assert not Pid(5, 7).is_group
+    assert Pid(5, 7 | GROUP_BIT).is_group
+
+
+def test_index_masks_group_bit():
+    assert Pid(5, 7 | GROUP_BIT).index == 7
+
+
+def test_local_kernel_server_group_is_group_with_lhid():
+    gid = local_kernel_server_group(0x77)
+    assert gid.is_group
+    assert gid.logical_host_id == 0x77
+    assert gid.index == KERNEL_SERVER_INDEX
+    assert is_wellknown_local_group(gid)
+
+
+def test_local_program_manager_group():
+    gid = local_program_manager_group(0x12)
+    assert gid.index == PROGRAM_MANAGER_INDEX
+    assert is_wellknown_local_group(gid)
+
+
+def test_program_manager_group_is_global():
+    assert PROGRAM_MANAGER_GROUP.is_group
+    assert PROGRAM_MANAGER_GROUP.is_global_group
+
+
+def test_plain_pid_is_not_wellknown_group():
+    assert not is_wellknown_local_group(Pid(5, 7))
+    assert not is_wellknown_local_group(Pid(5, 7 | GROUP_BIT))
+
+
+def test_group_id_same_format_as_pid():
+    # Paper footnote 2: a process-group-id is identical in format.
+    gid = local_kernel_server_group(0x42)
+    roundtrip = Pid.from_int(gid.as_int())
+    assert roundtrip == gid

@@ -1,0 +1,190 @@
+"""Suspension semantics: an overlay, not a state.
+
+The subtle case: a process suspended while *awaiting a reply* must not
+run when that reply arrives -- the wakeup is held and delivered at
+resume, with the correct value.
+"""
+
+import pytest
+
+from repro.ipc import Message
+from repro.kernel import Compute, Delay, Receive, Reply, Send
+
+from tests.helpers import BareCluster
+
+
+def test_suspend_running_process_stops_it():
+    cluster = BareCluster(n=1)
+    ws = cluster.stations[0]
+    log = []
+
+    def body():
+        while True:
+            yield Compute(10_000)
+            log.append(cluster.sim.now)
+
+    _, pcb = cluster.spawn_program(ws, body(), name="looper")
+    cluster.run(until_us=50_000)
+    ws.kernel.suspend_process(pcb)
+    at_suspend = len(log)
+    cluster.run(until_us=500_000)
+    assert len(log) == at_suspend
+    ws.kernel.resume_process(pcb)
+    cluster.run(until_us=700_000)
+    assert len(log) > at_suspend
+
+
+def test_reply_arriving_while_suspended_is_held_not_lost():
+    """The motivating bug: suspend a process mid-RPC; the reply arrives;
+    the process must stay stopped, then receive that exact reply when
+    resumed."""
+    cluster = BareCluster(n=1)
+    ws = cluster.stations[0]
+
+    def slow_server():
+        sender, msg = yield Receive()
+        yield Compute(500_000)
+        yield Reply(sender, msg.replying(answer=99))
+
+    lh, server = cluster.spawn_program(ws, slow_server(), name="server")
+    got = []
+
+    def client():
+        reply = yield Send(server.pid, Message("ask"))
+        got.append((cluster.sim.now, reply["answer"]))
+
+    _, client_pcb = cluster.spawn_program(ws, client(), lh=lh, name="client")
+    cluster.run(until_us=100_000)  # client is awaiting-reply
+    ws.kernel.suspend_process(client_pcb)
+    cluster.run(until_us=2_000_000)  # reply long since arrived
+    assert got == []                 # ...but the client did not run
+    assert client_pcb.wake_pending
+    ws.kernel.resume_process(client_pcb)
+    cluster.run(until_us=3_000_000)
+    assert len(got) == 1
+    resumed_at, answer = got[0]
+    assert answer == 99              # the held reply, intact
+    assert resumed_at >= 2_000_000
+
+
+def test_suspend_while_delaying_holds_the_wakeup():
+    cluster = BareCluster(n=1)
+    ws = cluster.stations[0]
+    woke = []
+
+    def sleeper():
+        yield Delay(200_000)
+        woke.append(cluster.sim.now)
+
+    _, pcb = cluster.spawn_program(ws, sleeper(), name="sleeper")
+    cluster.run(until_us=50_000)
+    ws.kernel.suspend_process(pcb)
+    cluster.run(until_us=1_000_000)  # deadline passed while suspended
+    assert woke == []
+    ws.kernel.resume_process(pcb)
+    cluster.run(until_us=2_000_000)
+    assert len(woke) == 1 and woke[0] >= 1_000_000
+
+
+def test_suspend_and_resume_are_idempotent():
+    cluster = BareCluster(n=1)
+    ws = cluster.stations[0]
+
+    def body():
+        yield Compute(1_000_000)
+
+    _, pcb = cluster.spawn_program(ws, body(), name="p")
+    cluster.run(until_us=10_000)
+    ws.kernel.suspend_process(pcb)
+    ws.kernel.suspend_process(pcb)  # second call: no-op
+    cluster.run(until_us=100_000)
+    ws.kernel.resume_process(pcb)
+    ws.kernel.resume_process(pcb)   # second call: no-op
+    cluster.run()
+    assert not pcb.alive  # ran to completion exactly once
+
+
+def test_state_label_reports_suspension():
+    cluster = BareCluster(n=1)
+    ws = cluster.stations[0]
+
+    def body():
+        yield Delay(10_000_000)
+
+    _, pcb = cluster.spawn_program(ws, body(), name="p")
+    cluster.run(until_us=10_000)
+    assert pcb.state_label() == "delaying"
+    ws.kernel.suspend_process(pcb)
+    assert pcb.state_label() == "suspended"
+    ws.kernel.resume_process(pcb)
+    assert pcb.state_label() == "delaying"
+
+
+def test_incoming_request_to_suspended_server_queues():
+    cluster = BareCluster(n=1)
+    ws = cluster.stations[0]
+
+    def server():
+        while True:
+            sender, msg = yield Receive()
+            yield Reply(sender, msg.replying(ok=True))
+
+    lh, server_pcb = cluster.spawn_program(ws, server(), name="server")
+    cluster.run(until_us=10_000)  # server blocked in Receive
+    ws.kernel.suspend_process(server_pcb)
+    got = []
+
+    def client():
+        reply = yield Send(server_pcb.pid, Message("ping"))
+        got.append(reply["ok"])
+
+    cluster.spawn_program(ws, client(), lh=lh, name="client")
+    cluster.run(until_us=2_000_000)
+    assert got == []  # server suspended: request waits
+    ws.kernel.resume_process(server_pcb)
+    cluster.run(until_us=4_000_000)
+    assert got == [True]
+
+
+def test_set_priority_requeues_immediately():
+    """Demoting a running CPU hog lets a waiting peer in at once."""
+    from repro.kernel import Priority
+
+    cluster = BareCluster(n=1)
+    ws = cluster.stations[0]
+    finished = {}
+
+    def body(tag, us):
+        yield Compute(us)
+        finished[tag] = cluster.sim.now
+
+    _, hog = cluster.spawn_program(ws, body("hog", 1_000_000),
+                                   priority=Priority.LOCAL, name="hog")
+    cluster.run(until_us=100_000)
+    _, peer = cluster.spawn_program(ws, body("peer", 200_000),
+                                    priority=Priority.REMOTE, name="peer")
+    # Demote the hog below the peer: the peer should now run first.
+    ws.kernel.set_priority(hog, Priority.BACKGROUND)
+    cluster.run()
+    assert finished["peer"] < finished["hog"]
+
+
+def test_suspension_preserves_compute_progress():
+    """A job suspended mid-compute resumes where it was, not from the
+    start of its current chunk."""
+    cluster = BareCluster(n=1)
+    ws = cluster.stations[0]
+    done = {}
+
+    def body():
+        yield Compute(1_000_000)
+        done["at"] = cluster.sim.now
+
+    _, pcb = cluster.spawn_program(ws, body(), name="worker")
+    cluster.run(until_us=600_000)  # 600 ms of the 1000 ms done
+    ws.kernel.suspend_process(pcb)
+    cluster.run(until_us=5_000_000)
+    ws.kernel.resume_process(pcb)
+    cluster.run()
+    # Finishes ~400 ms after resume, not ~1000 ms.
+    assert done["at"] < 5_600_000

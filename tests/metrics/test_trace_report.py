@@ -1,0 +1,87 @@
+"""Unit and integration tests for the network traffic report."""
+
+import pytest
+
+from repro.ipc import Message
+from repro.kernel import Receive, Reply, Send
+from repro.metrics import TrafficReport
+
+from tests.helpers import BareCluster
+
+
+def traced_pair():
+    cluster = BareCluster(n=2)
+    cluster.sim.trace.enable("net")
+    a, b = cluster.stations
+
+    def echo():
+        while True:
+            sender, msg = yield Receive()
+            yield Reply(sender, msg.replying(ok=True))
+
+    _, server = cluster.spawn_program(b, echo(), name="server")
+    return cluster, a, b, server
+
+
+def test_report_counts_kinds_and_paths():
+    cluster, a, b, server = traced_pair()
+
+    def client():
+        for i in range(3):
+            yield Send(server.pid, Message("ping", i=i))
+
+    cluster.spawn_program(a, client(), name="client")
+    cluster.run(until_us=10_000_000)
+    report = TrafficReport.from_tracer(cluster.sim.trace)
+    assert report.by_kind["request"] >= 3
+    assert report.by_kind["reply"] >= 3
+    assert report.total_packets == sum(report.by_kind.values())
+    assert report.between(str(a.address), str(b.address)) >= 6
+
+
+def test_time_window_filters():
+    cluster, a, b, server = traced_pair()
+
+    def client():
+        yield Send(server.pid, Message("ping"))
+
+    cluster.spawn_program(a, client(), name="client")
+    cluster.run(until_us=10_000_000)
+    all_report = TrafficReport.from_tracer(cluster.sim.trace)
+    none_report = TrafficReport.from_tracer(cluster.sim.trace,
+                                            since_us=10_000_001)
+    assert all_report.total_packets > 0
+    assert none_report.total_packets == 0
+
+
+def test_involving_host():
+    cluster, a, b, server = traced_pair()
+
+    def client():
+        yield Send(server.pid, Message("ping"))
+
+    cluster.spawn_program(a, client(), name="client")
+    cluster.run(until_us=10_000_000)
+    report = TrafficReport.from_tracer(cluster.sim.trace)
+    assert report.involving(str(a.address)) > 0
+    assert report.involving("aa:aa:aa:aa:aa:aa") == 0
+
+
+def test_render_mentions_kinds():
+    cluster, a, b, server = traced_pair()
+
+    def client():
+        yield Send(server.pid, Message("ping"))
+
+    cluster.spawn_program(a, client(), name="client")
+    cluster.run(until_us=10_000_000)
+    text = TrafficReport.from_tracer(cluster.sim.trace).render()
+    assert "request" in text
+    assert "packets" in text
+
+
+def test_empty_tracer_empty_report():
+    cluster = BareCluster(n=1)
+    report = TrafficReport.from_tracer(cluster.sim.trace)
+    assert report.total_packets == 0
+    assert report.kinds() == []

@@ -1,0 +1,74 @@
+"""Property-based tests for address spaces and dirty tracking."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import PAGE_SIZE
+from repro.kernel import AddressSpace
+
+spaces = st.integers(min_value=1, max_value=64).map(
+    lambda pages: AddressSpace(pages * PAGE_SIZE)
+)
+
+
+@given(st.data())
+def test_touch_dirties_exactly_covered_pages(data):
+    space = data.draw(spaces)
+    offset = data.draw(st.integers(0, space.size_bytes - 1))
+    nbytes = data.draw(st.integers(1, space.size_bytes - offset))
+    space.touch(offset, nbytes)
+    first = offset // PAGE_SIZE
+    last = (offset + nbytes - 1) // PAGE_SIZE
+    dirty = {p.index for p in space.dirty_pages()}
+    assert dirty == set(range(first, last + 1))
+
+
+@given(st.data())
+def test_collect_dirty_is_idempotent_and_preserves_versions(data):
+    space = data.draw(spaces)
+    indexes = data.draw(st.lists(
+        st.integers(0, space.n_pages - 1), max_size=space.n_pages))
+    space.touch_pages(indexes)
+    before = space.version_vector()
+    first_scan = {p.index for p in space.collect_dirty()}
+    assert first_scan == set(indexes)
+    assert space.collect_dirty() == []
+    assert space.version_vector() == before
+
+
+@given(st.data())
+def test_versions_count_writes_per_page(data):
+    space = data.draw(spaces)
+    indexes = data.draw(st.lists(
+        st.integers(0, space.n_pages - 1), max_size=200))
+    space.touch_pages(indexes)
+    for page in space.pages:
+        assert page.version == indexes.count(page.index)
+
+
+@given(st.data())
+def test_apply_copy_makes_spaces_identical(data):
+    space = data.draw(spaces)
+    twin = AddressSpace(space.size_bytes)
+    writes = data.draw(st.lists(
+        st.integers(0, space.n_pages - 1), max_size=100))
+    space.touch_pages(writes)
+    twin.apply_copy(space.pages)
+    assert twin.identical_to(space)
+    assert space.identical_to(twin)
+
+
+@given(st.data())
+def test_partial_copy_then_dirty_copy_converges(data):
+    """The pre-copy invariant in miniature: a full copy followed by a
+    copy of everything dirtied since yields an identical space."""
+    space = data.draw(spaces)
+    twin = AddressSpace(space.size_bytes)
+    first_writes = data.draw(st.lists(st.integers(0, space.n_pages - 1), max_size=60))
+    space.touch_pages(first_writes)
+    space.collect_dirty()
+    twin.apply_copy(space.pages)          # round 0: full copy
+    second_writes = data.draw(st.lists(st.integers(0, space.n_pages - 1), max_size=60))
+    space.touch_pages(second_writes)      # concurrent mutation
+    twin.apply_copy(space.collect_dirty())  # final: residual copy
+    assert twin.identical_to(space)

@@ -1,0 +1,79 @@
+"""Property-based tests for the two-pool dirty-page model."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.dirty_model import TwoPoolDirtyModel
+
+models = st.builds(
+    TwoPoolDirtyModel,
+    hot_pages=st.integers(min_value=1, max_value=64),
+    hot_writes_per_sec=st.floats(min_value=0.0, max_value=2000.0,
+                                 allow_nan=False, allow_infinity=False),
+    cold_pages=st.integers(min_value=0, max_value=512),
+    cold_writes_per_sec=st.floats(min_value=0.0, max_value=500.0,
+                                  allow_nan=False, allow_infinity=False),
+)
+
+intervals = st.integers(min_value=0, max_value=60_000_000)
+
+
+@given(model=models, t1=intervals, t2=intervals)
+def test_expected_dirty_monotone_in_time(model, t1, t2):
+    lo, hi = sorted((t1, t2))
+    assert model.expected_dirty_pages(lo) <= model.expected_dirty_pages(hi) + 1e-9
+
+
+@given(model=models, t=intervals)
+def test_expected_dirty_bounded_by_footprint(model, t):
+    assert 0.0 <= model.expected_dirty_pages(t) <= model.total_pages + 1e-9
+
+
+@given(model=models)
+def test_zero_interval_is_zero(model):
+    assert model.expected_dirty_pages(0) == 0.0
+
+
+@given(model=models, t=intervals, seed=st.integers(0, 2**31))
+@settings(max_examples=50)
+def test_sampler_stays_within_pools(model, t, seed):
+    rng = random.Random(seed)
+    pages = model.tick_pages(rng, min(t, 1_000_000), base_page=10)
+    assert all(10 <= p < 10 + model.total_pages for p in pages)
+    assert len(set(pages)) == len(pages)  # each page reported once per tick
+
+
+@given(model=models, seed=st.integers(0, 2**31))
+@settings(max_examples=20)
+def test_sampler_mean_tracks_expectation(model, seed):
+    """Over many ticks, distinct pages dirtied ≈ the analytic curve."""
+    interval_us = 500_000
+    tick_us = 25_000
+    expected = model.expected_dirty_pages(interval_us)
+    if expected < 1.0:
+        return  # too little signal for a cheap statistical check
+    rng = random.Random(seed)
+    trials = 30
+    total = 0
+    for _ in range(trials):
+        dirty = set()
+        for _ in range(interval_us // tick_us):
+            dirty.update(model.tick_pages(rng, tick_us))
+        total += len(dirty)
+    measured = total / trials
+    assert abs(measured - expected) <= max(0.35 * expected, 2.0)
+
+
+@given(model=models)
+def test_saturation_limit(model):
+    """As t -> infinity the expectation approaches the pools that have a
+    nonzero write rate."""
+    limit = 0
+    if model.hot_writes_per_sec > 0:
+        limit += model.hot_pages
+    if model.cold_writes_per_sec > 0 and model.cold_pages > 0:
+        limit += model.cold_pages
+    forever = model.expected_dirty_pages(10**12)
+    assert forever <= limit + 1e-6

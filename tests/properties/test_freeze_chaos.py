@@ -1,0 +1,70 @@
+"""Chaos property: random freeze/unfreeze interleavings never break IPC.
+
+A server's logical host is frozen and unfrozen at arbitrary moments
+while a client streams requests at it.  Whatever the interleaving:
+every request is eventually answered exactly once, in order (freeze
+windows are bounded below the retransmission budget by construction,
+matching the migration use where freezes last tens of milliseconds).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ipc import Message
+from repro.kernel import Compute, Delay, Receive, Reply, Send
+
+from tests.helpers import BareCluster
+
+freeze_plans = st.lists(
+    st.tuples(
+        st.integers(min_value=50_000, max_value=800_000),   # run gap
+        st.integers(min_value=10_000, max_value=900_000),   # freeze length
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+@given(plan=freeze_plans, seed=st.integers(0, 2_000),
+       n_messages=st.integers(3, 8))
+@settings(max_examples=20, deadline=None)
+def test_freeze_interleavings_preserve_exactly_once(plan, seed, n_messages):
+    cluster = BareCluster(n=2, seed=seed)
+    a, b = cluster.stations
+    served = []
+
+    def server():
+        while True:
+            sender, msg = yield Receive()
+            served.append(msg["n"])
+            yield Compute(5_000)
+            yield Reply(sender, msg.replying(n=msg["n"]))
+
+    lh, server_pcb = cluster.spawn_program(b, server(), name="server")
+    completed = []
+
+    def client():
+        for n in range(n_messages):
+            reply = yield Send(server_pcb.pid, Message("req", n=n))
+            completed.append(reply["n"])
+            yield Delay(50_000)
+
+    cluster.spawn_program(a, client(), name="client")
+
+    def freezer():
+        for gap, length in plan:
+            yield Delay(gap)
+            if lh.frozen or not lh.live_processes():
+                continue
+            b.kernel.freeze_logical_host(lh)
+            yield Delay(length)
+            if lh.frozen:
+                b.kernel.unfreeze_logical_host(lh)
+
+    freezer_lh = b.kernel.create_logical_host()
+    b.kernel.allocate_space(freezer_lh, 4096)
+    b.kernel.create_process(freezer_lh, freezer(), name="freezer")
+
+    cluster.run(until_us=120_000_000)
+    assert completed == list(range(n_messages))
+    assert served == list(range(n_messages))

@@ -1,0 +1,58 @@
+"""Property-based tests for pid packing and group-id structure."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kernel.ids import (
+    GROUP_BIT,
+    Pid,
+    is_wellknown_local_group,
+    local_kernel_server_group,
+    local_program_manager_group,
+)
+
+lh_ids = st.integers(min_value=0, max_value=0xFFFF)
+indexes = st.integers(min_value=0, max_value=0xFFFF)
+
+
+@given(lh=lh_ids, index=indexes)
+def test_pack_unpack_roundtrip(lh, index):
+    pid = Pid(lh, index)
+    assert Pid.from_int(pid.as_int()) == pid
+
+
+@given(value=st.integers(min_value=0, max_value=0xFFFFFFFF))
+def test_unpack_pack_roundtrip(value):
+    assert Pid.from_int(value).as_int() == value
+
+
+@given(lh=lh_ids, index=indexes)
+def test_group_bit_detection_consistent(lh, index):
+    pid = Pid(lh, index)
+    assert pid.is_group == bool(index & GROUP_BIT)
+    assert pid.index == (index & ~GROUP_BIT)
+
+
+@given(lh=lh_ids)
+def test_wellknown_groups_carry_their_lhid(lh):
+    for maker in (local_kernel_server_group, local_program_manager_group):
+        gid = maker(lh)
+        assert gid.logical_host_id == lh
+        assert gid.is_group
+        assert is_wellknown_local_group(gid)
+        # Round-trips through the 32-bit wire format unchanged.
+        assert Pid.from_int(gid.as_int()) == gid
+
+
+@given(lh=lh_ids, index=indexes)
+def test_ordinary_pids_are_not_wellknown_groups(lh, index):
+    pid = Pid(lh, index & ~GROUP_BIT)
+    assert not is_wellknown_local_group(pid)
+
+
+@given(a_lh=lh_ids, a_idx=indexes, b_lh=lh_ids, b_idx=indexes)
+def test_equality_matches_packed_equality(a_lh, a_idx, b_lh, b_idx):
+    a, b = Pid(a_lh, a_idx), Pid(b_lh, b_idx)
+    assert (a == b) == (a.as_int() == b.as_int())
+    if a == b:
+        assert hash(a) == hash(b)

@@ -1,0 +1,58 @@
+"""Property-based tests for workstation memory accounting."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import PAGE_SIZE
+from repro.errors import OutOfMemoryError
+
+from tests.helpers import BareCluster
+
+actions = st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.integers(min_value=1, max_value=512)),
+        st.tuples(st.just("free"), st.integers(min_value=0, max_value=30)),
+    ),
+    max_size=40,
+)
+
+
+@given(plan=actions)
+@settings(max_examples=50, deadline=None)
+def test_memory_accounting_is_exact(plan):
+    """Random allocate/free sequences: used+free is invariant, frees
+    restore exactly what allocation took, and over-allocation raises
+    without corrupting the books."""
+    cluster = BareCluster(n=1)
+    kernel = cluster.stations[0].kernel
+    total = kernel.memory_bytes
+    live = []  # (lh, space)
+    for op, arg in plan:
+        if op == "alloc":
+            size = arg * PAGE_SIZE
+            lh = kernel.create_logical_host()
+            try:
+                space = kernel.allocate_space(lh, size)
+            except OutOfMemoryError:
+                kernel.destroy_logical_host(lh)
+                # Refusal must be honest: the request truly did not fit.
+                assert kernel.memory_used + size > total
+                continue
+            live.append((lh, space))
+        else:
+            if not live:
+                continue
+            lh, space = live.pop(arg % len(live))
+            kernel.destroy_logical_host(lh)
+        expected = sum(s.size_bytes for _, s in live)
+        assert kernel.memory_used - expected == _base_usage(kernel, live)
+        assert 0 <= kernel.memory_used <= total
+    # Free everything: only the boot-time system space remains.
+    for lh, _ in live:
+        kernel.destroy_logical_host(lh)
+    assert kernel.memory_used == 64 * 1024  # the system logical host
+
+
+def _base_usage(kernel, live):
+    """Memory not covered by our live allocations (the system space)."""
+    return 64 * 1024

@@ -1,0 +1,53 @@
+"""Property-based tests for the shell parser."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.shell import Command, ParseError, parse_command
+
+# Program/argument tokens: printable, no whitespace, no metacharacters.
+token = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Ll", "Lu", "Nd"), whitelist_characters="-_./"
+    ),
+    min_size=1,
+    max_size=12,
+).filter(lambda s: "@" not in s and s not in {"&", "#"} and not s.startswith("#"))
+
+targets = st.one_of(st.just("*"), token)
+
+
+@given(program=token, args=st.lists(token, max_size=4),
+       target=st.one_of(st.none(), targets), background=st.booleans())
+def test_render_parse_roundtrip(program, args, target, background):
+    parts = [program, *args]
+    if target is not None:
+        parts += ["@", target]
+    if background:
+        parts.append("&")
+    command = parse_command(" ".join(parts))
+    assert command.program == program
+    assert command.args == tuple(args)
+    assert command.target == (target if target is not None else "local")
+    assert command.background == background
+
+
+@given(text=st.text(max_size=40))
+def test_parser_never_raises_anything_but_parse_error(text):
+    try:
+        result = parse_command(text)
+    except ParseError:
+        return
+    assert result is None or isinstance(result, Command)
+
+
+@given(program=token, target=token)
+def test_attached_at_form_equivalent_to_spaced(program, target):
+    attached = parse_command(f"{program}@{target}")
+    spaced = parse_command(f"{program} @ {target}")
+    assert attached == spaced
+
+
+@given(line=st.text(alphabet=" \t", max_size=10))
+def test_blank_lines_parse_to_none(line):
+    assert parse_command(line) is None

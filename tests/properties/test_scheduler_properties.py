@@ -1,0 +1,96 @@
+"""Property-based tests for the CPU scheduler."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel import Compute, Delay, Priority
+
+from tests.helpers import BareCluster
+
+priorities = st.sampled_from([Priority.LOCAL, Priority.REMOTE,
+                              Priority.BACKGROUND])
+
+job_specs = st.lists(
+    st.tuples(priorities, st.integers(min_value=1_000, max_value=200_000)),
+    min_size=1, max_size=8,
+)
+
+
+@given(jobs=job_specs, seed=st.integers(0, 1000))
+@settings(max_examples=30, deadline=None)
+def test_all_jobs_complete_and_cpu_conserved(jobs, seed):
+    """Whatever the mix of priorities and sizes: every job finishes, the
+    CPU never over-accounts, and total busy time covers all the work."""
+    cluster = BareCluster(n=1, seed=seed)
+    ws = cluster.stations[0]
+    finished = []
+    pcbs = []
+
+    def body(tag, us):
+        yield Compute(us)
+        finished.append(tag)
+
+    for i, (priority, us) in enumerate(jobs):
+        _, pcb = cluster.spawn_program(ws, body(i, us), priority=priority,
+                                       name=f"j{i}")
+        pcbs.append((pcb, us))
+    cluster.run()
+    assert sorted(finished) == list(range(len(jobs)))
+    total_work = sum(us for _, us in jobs)
+    busy = ws.kernel.scheduler.busy_us
+    assert busy >= total_work            # all compute was performed
+    assert busy <= cluster.sim.now * 1.01  # and never double-billed
+    for pcb, us in pcbs:
+        assert pcb.cpu_used_us >= us
+
+
+@given(jobs=job_specs, seed=st.integers(0, 1000))
+@settings(max_examples=20, deadline=None)
+def test_higher_priority_always_finishes_no_later(jobs, seed):
+    """Between two equal-length jobs, the higher-priority one never
+    finishes after the lower-priority one (spawned simultaneously)."""
+    cluster = BareCluster(n=1, seed=seed)
+    ws = cluster.stations[0]
+    finish_times = {}
+
+    def body(tag, us):
+        yield Compute(us)
+        finish_times[tag] = cluster.sim.now
+
+    size = 50_000
+    cluster.spawn_program(ws, body("high", size), priority=Priority.LOCAL,
+                          name="high")
+    cluster.spawn_program(ws, body("low", size), priority=Priority.REMOTE,
+                          name="low")
+    for i, (priority, us) in enumerate(jobs):
+        cluster.spawn_program(ws, body(f"x{i}", us), priority=priority,
+                              name=f"x{i}")
+    cluster.run()
+    assert finish_times["high"] <= finish_times["low"]
+
+
+@given(
+    n_sleepers=st.integers(min_value=1, max_value=5),
+    n_workers=st.integers(min_value=1, max_value=5),
+    seed=st.integers(0, 1000),
+)
+@settings(max_examples=20, deadline=None)
+def test_sleepers_never_consume_cpu(n_sleepers, n_workers, seed):
+    cluster = BareCluster(n=1, seed=seed)
+    ws = cluster.stations[0]
+    sleepers = []
+
+    def sleeper():
+        yield Delay(500_000)
+
+    def worker():
+        yield Compute(100_000)
+
+    for i in range(n_sleepers):
+        _, pcb = cluster.spawn_program(ws, sleeper(), name=f"s{i}")
+        sleepers.append(pcb)
+    for i in range(n_workers):
+        cluster.spawn_program(ws, worker(), name=f"w{i}")
+    cluster.run()
+    # Sleepers pay only instruction-dispatch overhead, no compute.
+    assert all(pcb.cpu_used_us < 100 for pcb in sleepers)

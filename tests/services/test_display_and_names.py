@@ -1,0 +1,174 @@
+"""Unit tests for display servers and name servers."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.execution import ProgramRegistry
+from repro.ipc.messages import Message
+from repro.kernel.process import Send
+
+
+def make_cluster(n=2):
+    return build_cluster(n_workstations=n, registry=ProgramRegistry())
+
+
+def run_session(cluster, body_factory, station=0):
+    cluster.spawn_session(cluster.workstations[station], body_factory, name="s")
+    cluster.run(until_us=30_000_000)
+
+
+class TestDisplayServer:
+    def test_display_appends_to_transcript(self):
+        cluster = make_cluster()
+
+        def session(ctx):
+            yield Send(ctx.stdout, Message("display", text="hello"))
+            yield Send(ctx.stdout, Message("display", text="world"))
+
+        run_session(cluster, session)
+        assert cluster.displays["ws0"].all_lines() == ["hello", "world"]
+
+    def test_lines_attributed_to_sender(self):
+        cluster = make_cluster()
+        pids = {}
+
+        def session(ctx):
+            pids["me"] = ctx.self_pid
+            yield Send(ctx.stdout, Message("display", text="mine"))
+
+        run_session(cluster, session)
+        display = cluster.displays["ws0"]
+        assert display.lines_from(pids["me"]) == ["mine"]
+
+    def test_read_transcript_op(self):
+        cluster = make_cluster()
+        got = []
+
+        def session(ctx):
+            yield Send(ctx.stdout, Message("display", text="a"))
+            reply = yield Send(ctx.stdout, Message("read-transcript"))
+            got.append(reply["lines"])
+
+        run_session(cluster, session)
+        assert got == [("a",)]
+
+    def test_each_workstation_has_own_display(self):
+        cluster = make_cluster(n=3)
+        assert len({id(d) for d in cluster.displays.values()}) == 3
+
+    def test_unknown_op_errors(self):
+        cluster = make_cluster()
+        got = []
+
+        def session(ctx):
+            reply = yield Send(ctx.stdout, Message("paint-pixels"))
+            got.append(reply.kind)
+
+        run_session(cluster, session)
+        assert got == ["ds-error"]
+
+    def test_remote_program_writes_to_requester_display(self):
+        """The display server stays co-resident with its frame buffer;
+        programs reach it by pid wherever they run (paper §2)."""
+        cluster = make_cluster()
+        ws0_display_pid = cluster.displays["ws0"].pcb.pid
+
+        # A program on ws1 holding ws0's display pid writes there.
+        def session(ctx):
+            yield Send(ws0_display_pid, Message("display", text="from ws1"))
+
+        run_session(cluster, session, station=1)
+        assert "from ws1" in cluster.displays["ws0"].all_lines()
+        assert "from ws1" not in cluster.displays["ws1"].all_lines()
+
+
+class TestNameServer:
+    def test_register_and_lookup(self):
+        from repro.kernel.ids import Pid
+
+        cluster = make_cluster()
+        got = []
+
+        def session(ctx):
+            ns = ctx.server("name-server")
+            yield Send(ns, Message("register-name", name="printer", pid=Pid(9, 9)))
+            reply = yield Send(ns, Message("lookup-name", name="printer"))
+            got.append(reply["pid"])
+
+        run_session(cluster, session)
+        from repro.kernel.ids import Pid
+
+        assert got == [Pid(9, 9)]
+
+    def test_lookup_unbound_name(self):
+        cluster = make_cluster()
+        got = []
+
+        def session(ctx):
+            ns = ctx.server("name-server")
+            reply = yield Send(ns, Message("lookup-name", name="ghost"))
+            got.append(reply.kind)
+
+        run_session(cluster, session)
+        assert got == ["ns-error"]
+
+    def test_unregister(self):
+        from repro.kernel.ids import Pid
+
+        cluster = make_cluster()
+        got = []
+
+        def session(ctx):
+            ns = ctx.server("name-server")
+            yield Send(ns, Message("register-name", name="x", pid=Pid(1, 1)))
+            yield Send(ns, Message("unregister-name", name="x"))
+            reply = yield Send(ns, Message("lookup-name", name="x"))
+            got.append(reply.kind)
+
+        run_session(cluster, session)
+        assert got == ["ns-error"]
+
+    def test_rebinding_a_name(self):
+        from repro.kernel.ids import Pid
+
+        cluster = make_cluster()
+        got = []
+
+        def session(ctx):
+            ns = ctx.server("name-server")
+            yield Send(ns, Message("register-name", name="svc", pid=Pid(1, 1)))
+            yield Send(ns, Message("register-name", name="svc", pid=Pid(2, 2)))
+            reply = yield Send(ns, Message("lookup-name", name="svc"))
+            got.append(reply["pid"])
+
+        run_session(cluster, session)
+        from repro.kernel.ids import Pid
+
+        assert got == [Pid(2, 2)]
+
+    def test_lookup_counter(self):
+        cluster = make_cluster()
+
+        def session(ctx):
+            ns = ctx.server("name-server")
+            yield Send(ns, Message("lookup-name", name="a"))
+            yield Send(ns, Message("lookup-name", name="b"))
+
+        run_session(cluster, session)
+        assert cluster.name_servers[0].lookups == 2
+
+
+class TestContextServerLookup:
+    def test_server_helper_raises_on_unknown_name(self):
+        cluster = make_cluster()
+        caught = []
+
+        def session(ctx):
+            try:
+                ctx.server("mainframe")
+            except KeyError as exc:
+                caught.append(str(exc))
+            yield Send(ctx.stdout, Message("display", text="done"))
+
+        run_session(cluster, session)
+        assert caught

@@ -1,0 +1,175 @@
+"""Unit tests for the network file server."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.execution import ProgramImage, ProgramRegistry
+from repro.ipc.messages import Message
+from repro.kernel.process import Send
+
+
+def make_cluster():
+    registry = ProgramRegistry()
+
+    def body(ctx):
+        from repro.kernel.process import Compute
+
+        yield Compute(1_000)
+        return 0
+
+    registry.register(ProgramImage(
+        name="tool", image_bytes=50 * 1024, space_bytes=96 * 1024,
+        code_bytes=40 * 1024, body_factory=body,
+    ))
+    return build_cluster(n_workstations=2, registry=registry)
+
+
+def run_client(cluster, script, results):
+    """Run a bare client session performing file-server requests."""
+
+    def session(ctx):
+        fs = ctx.server("file-server")
+        for msg in script:
+            reply = yield Send(fs, msg)
+            results.append(reply)
+
+    cluster.spawn_session(cluster.workstations[0], session, name="fs-client")
+    cluster.run(until_us=30_000_000)
+
+
+class TestFileOps:
+    def test_write_then_read(self):
+        cluster = make_cluster()
+        results = []
+        run_client(cluster, [
+            Message("write-file", path="/tmp/x", nbytes=4096),
+            Message("read-file", path="/tmp/x"),
+        ], results)
+        assert results[0].kind == "fs-ok"
+        assert results[1].kind == "fs-ok"
+        assert results[1]["size"] == 4096
+
+    def test_writes_append(self):
+        cluster = make_cluster()
+        results = []
+        run_client(cluster, [
+            Message("write-file", path="/tmp/x", nbytes=1000),
+            Message("write-file", path="/tmp/x", nbytes=500),
+            Message("read-file", path="/tmp/x"),
+        ], results)
+        assert results[2]["size"] == 1500
+
+    def test_read_missing_file_errors(self):
+        cluster = make_cluster()
+        results = []
+        run_client(cluster, [Message("read-file", path="/nope")], results)
+        assert results[0].kind == "fs-error"
+
+    def test_delete_file(self):
+        cluster = make_cluster()
+        results = []
+        run_client(cluster, [
+            Message("write-file", path="/tmp/y", nbytes=10),
+            Message("delete-file", path="/tmp/y"),
+            Message("read-file", path="/tmp/y"),
+        ], results)
+        assert results[1].kind == "fs-ok"
+        assert results[2].kind == "fs-error"
+
+    def test_list_files(self):
+        cluster = make_cluster()
+        results = []
+        run_client(cluster, [
+            Message("write-file", path="/b", nbytes=1),
+            Message("write-file", path="/a", nbytes=1),
+            Message("list-files"),
+        ], results)
+        assert results[2]["paths"] == ["/a", "/b"]
+
+    def test_unknown_op(self):
+        cluster = make_cluster()
+        results = []
+        run_client(cluster, [Message("format-disk")], results)
+        assert results[0].kind == "fs-error"
+
+    def test_read_cost_scales_with_size(self):
+        cluster = make_cluster()
+        times = []
+
+        def session(ctx):
+            fs = ctx.server("file-server")
+            yield Send(fs, Message("write-file", path="/small", nbytes=1024))
+            yield Send(fs, Message("write-file", path="/big", nbytes=512 * 1024))
+            start = ctx.sim.now
+            yield Send(fs, Message("read-file", path="/small"))
+            times.append(ctx.sim.now - start)
+            start = ctx.sim.now
+            yield Send(fs, Message("read-file", path="/big"))
+            times.append(ctx.sim.now - start)
+
+        cluster.spawn_session(cluster.workstations[0], session, name="c")
+        cluster.run(until_us=60_000_000)
+        assert times[1] > times[0] * 5
+
+
+class TestImageOps:
+    def test_stat_image(self):
+        cluster = make_cluster()
+        results = []
+        run_client(cluster, [Message("stat-image", name="tool")], results)
+        assert results[0].kind == "image-stat"
+        assert results[0]["image_bytes"] == 50 * 1024
+        assert results[0]["device_bound"] is False
+
+    def test_stat_unknown_image(self):
+        cluster = make_cluster()
+        results = []
+        run_client(cluster, [Message("stat-image", name="ghost")], results)
+        assert results[0].kind == "fs-error"
+
+    def test_load_image_marks_target_pages(self):
+        cluster = make_cluster()
+        ws = cluster.workstations[0]
+        from repro.kernel.process import Delay
+
+        def idle():
+            yield Delay(3_600_000_000)
+
+        lh = ws.kernel.create_logical_host()
+        space = ws.kernel.allocate_space(lh, 96 * 1024, name="target")
+        pcb = ws.kernel.create_process(lh, idle(), name="target")
+        results = []
+        run_client(cluster, [
+            Message("load-image", name="tool", target=pcb.pid),
+        ], results)
+        assert results[0].kind == "image-loaded"
+        loaded_pages = sum(1 for p in space.pages if p.version > 0)
+        assert loaded_pages == (50 * 1024) // 2048
+
+    def test_load_unknown_image(self):
+        cluster = make_cluster()
+        from repro.kernel.ids import Pid
+
+        results = []
+        run_client(cluster, [
+            Message("load-image", name="ghost", target=Pid(1, 1)),
+        ], results)
+        assert results[0].kind == "fs-error"
+
+    def test_counters(self):
+        cluster = make_cluster()
+        fs = cluster.file_servers[0]
+        from repro.kernel.process import Delay
+
+        def idle():
+            yield Delay(3_600_000_000)
+
+        ws = cluster.workstations[0]
+        lh = ws.kernel.create_logical_host()
+        ws.kernel.allocate_space(lh, 96 * 1024)
+        pcb = ws.kernel.create_process(lh, idle(), name="t")
+        results = []
+        run_client(cluster, [Message("load-image", name="tool", target=pcb.pid)],
+                   results)
+        assert fs.images_loaded == 1
+        assert fs.bytes_served >= 50 * 1024

@@ -1,0 +1,83 @@
+"""Unit tests for the shell command parser."""
+
+import pytest
+
+from repro.shell import Command, ParseError, parse_command
+
+
+def test_plain_local_command():
+    cmd = parse_command("cc68 prog.c")
+    assert cmd == Command("cc68", ("prog.c",), "local", False)
+
+
+def test_at_machine():
+    cmd = parse_command("cc68 prog.c @ ws3")
+    assert cmd.target == "ws3"
+    assert cmd.args == ("prog.c",)
+
+
+def test_at_star():
+    cmd = parse_command("tex paper.tex @ *")
+    assert cmd.target == "*"
+
+
+def test_attached_at_form():
+    cmd = parse_command("tex@ws2 paper.tex")
+    assert cmd.program == "tex"
+    assert cmd.target == "ws2"
+    assert cmd.args == ("paper.tex",)
+
+
+def test_background_ampersand():
+    cmd = parse_command("longsim @ * &")
+    assert cmd.background
+    assert cmd.target == "*"
+
+
+def test_background_attached():
+    cmd = parse_command("longsim&")
+    assert cmd.background
+    assert cmd.program == "longsim"
+
+
+def test_blank_and_comment_lines():
+    assert parse_command("") is None
+    assert parse_command("   ") is None
+    assert parse_command("# a comment") is None
+
+
+def test_no_args():
+    cmd = parse_command("make")
+    assert cmd.args == ()
+    assert cmd.target == "local"
+
+
+def test_builtin_detection():
+    assert parse_command("migrateprog -n").is_builtin
+    assert parse_command("ps ws1").is_builtin
+    assert not parse_command("make").is_builtin
+
+
+def test_at_without_target_rejected():
+    with pytest.raises(ParseError):
+        parse_command("cc68 prog.c @")
+
+
+def test_at_without_program_rejected():
+    with pytest.raises(ParseError):
+        parse_command("@ ws1")
+
+
+def test_trailing_junk_after_target_rejected():
+    with pytest.raises(ParseError):
+        parse_command("cc68 @ ws1 extra")
+
+
+def test_lone_ampersand_rejected():
+    with pytest.raises(ParseError):
+        parse_command("&")
+
+
+def test_migrateprog_flags_are_args():
+    cmd = parse_command("migrateprog -n %1")
+    assert cmd.args == ("-n", "%1")

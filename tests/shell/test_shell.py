@@ -1,0 +1,168 @@
+"""Integration tests for the shell on a live cluster."""
+
+import pytest
+
+from repro.cluster import build_cluster
+from repro.shell import Shell
+from repro.workloads import standard_registry
+
+
+def make_cluster(n=3, scale=0.05, seed=0, **kwargs):
+    return build_cluster(
+        n_workstations=n, seed=seed, registry=standard_registry(scale=scale), **kwargs
+    )
+
+
+def test_foreground_command_reports_exit():
+    cluster = make_cluster()
+    shell = Shell(cluster, "ws0")
+    shell.run_script(["tex paper.tex"])
+    cluster.run(until_us=60_000_000)
+    assert any("tex: exit 0" in line for line in shell.output)
+
+
+def test_remote_command_at_machine():
+    cluster = make_cluster()
+    shell = Shell(cluster, "ws0")
+    shell.run_script(["tex paper.tex @ ws2"])
+    cluster.run(until_us=60_000_000)
+    assert any("tex: exit 0" in line for line in shell.output)
+
+
+def test_at_star_runs_elsewhere_and_completes():
+    cluster = make_cluster(n=4)
+    shell = Shell(cluster, "ws0")
+    shell.run_script(["tex paper.tex @ *"])
+    cluster.run(until_us=60_000_000)
+    assert any("tex: exit 0" in line for line in shell.output)
+
+
+def test_background_job_and_ps():
+    cluster = make_cluster()
+    shell = Shell(cluster, "ws0")
+    shell.run_script([
+        "longsim @ ws1 &",
+        "ps ws1",
+    ])
+    cluster.run(until_us=20_000_000)
+    assert any("started as" in line for line in shell.output)
+    assert any("longsim" in line and "remote" in line for line in shell.output)
+
+
+def test_unknown_program_reports_error():
+    cluster = make_cluster()
+    shell = Shell(cluster, "ws0")
+    shell.run_script(["frobnicate"])
+    cluster.run(until_us=30_000_000)
+    assert any("frobnicate" in line and "no such program" in line
+               for line in shell.output)
+
+
+def test_syntax_error_reported_not_fatal():
+    cluster = make_cluster()
+    shell = Shell(cluster, "ws0")
+    shell.run_script(["tex @", "hosts"])
+    cluster.run(until_us=10_000_000)
+    assert any("syntax error" in line for line in shell.output)
+    assert any(line.startswith("ws0:") for line in shell.output)
+
+
+def test_kill_background_job():
+    cluster = make_cluster()
+    shell = Shell(cluster, "ws0")
+    shell.run_script([
+        "longsim @ ws1 &",
+        "kill %1",
+    ])
+    cluster.run(until_us=30_000_000)
+    assert any("kill: ok" in line for line in shell.output)
+    assert cluster.pm("ws1").remote_program_lhids() == []
+
+
+def test_suspend_and_resume_job():
+    cluster = make_cluster()
+    shell = Shell(cluster, "ws0")
+    shell.run_script([
+        "longsim @ ws1 &",
+        "suspend %1",
+        "resume %1",
+    ])
+    cluster.run(until_us=30_000_000)
+    assert any("suspend: ok" in line for line in shell.output)
+    assert any("resume: ok" in line for line in shell.output)
+
+
+def test_migrateprog_moves_background_job():
+    cluster = make_cluster(n=3, scale=0.5)
+    shell = Shell(cluster, "ws0")
+    shell.run_script([
+        "longsim @ ws1 &",
+        "migrateprog %1",
+    ])
+    cluster.run(until_us=120_000_000)
+    assert any("moved to" in line for line in shell.output), shell.output
+
+
+def test_migrateprog_all_with_nothing_to_do():
+    cluster = make_cluster()
+    shell = Shell(cluster, "ws0")
+    shell.run_script(["migrateprog"])
+    cluster.run(until_us=20_000_000)
+    assert any("nothing to migrate" in line for line in shell.output)
+
+
+def test_hosts_listing():
+    cluster = make_cluster(n=2)
+    shell = Shell(cluster, "ws0")
+    shell.run_script(["hosts"])
+    cluster.run(until_us=10_000_000)
+    assert sum(1 for line in shell.output if "programs," in line) == 2
+
+
+def test_output_reaches_home_display():
+    cluster = make_cluster()
+    shell = Shell(cluster, "ws0")
+    shell.run_script(["hosts"])
+    cluster.run(until_us=10_000_000)
+    display_lines = cluster.displays["ws0"].all_lines()
+    assert shell.output and all(line in display_lines for line in shell.output)
+
+
+def test_wait_builtin_blocks_until_job_exits():
+    cluster = make_cluster()
+    shell = Shell(cluster, "ws0")
+    shell.run_script([
+        "tex paper.tex @ ws1 &",
+        "wait %1",
+    ])
+    cluster.run(until_us=120_000_000)
+    assert any("exited 0" in line for line in shell.output), shell.output
+
+
+def test_wait_unknown_job():
+    cluster = make_cluster()
+    shell = Shell(cluster, "ws0")
+    shell.run_script(["wait %9"])
+    cluster.run(until_us=10_000_000)
+    assert any("unknown job" in line for line in shell.output)
+
+
+def test_migrations_builtin_reports_history():
+    cluster = make_cluster(n=3, scale=0.5)
+    shell = Shell(cluster, "ws0")
+    shell.run_script([
+        "longsim @ ws1 &",
+        "migrateprog %1",
+        "migrations ws1",
+    ])
+    cluster.run(until_us=120_000_000)
+    assert any("rounds" in line and "frozen" in line for line in shell.output), \
+        shell.output
+
+
+def test_migrations_builtin_empty():
+    cluster = make_cluster()
+    shell = Shell(cluster, "ws0")
+    shell.run_script(["migrations"])
+    cluster.run(until_us=20_000_000)
+    assert any("none recorded" in line for line in shell.output)

@@ -1,0 +1,104 @@
+"""Unit tests for random streams and the tracer."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.random import RandomStreams, derive_seed
+from repro.sim.trace import TraceRecord, Tracer
+
+
+class TestRandomStreams:
+    def test_same_master_same_stream(self):
+        a = RandomStreams(7).stream("x")
+        b = RandomStreams(7).stream("x")
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_names_independent(self):
+        streams = RandomStreams(7)
+        xs = [streams.stream("x").random() for _ in range(5)]
+        ys = [streams.stream("y").random() for _ in range(5)]
+        assert xs != ys
+
+    def test_stream_is_cached(self):
+        streams = RandomStreams(0)
+        assert streams.stream("a") is streams.stream("a")
+
+    def test_derive_seed_stable(self):
+        assert derive_seed(1, "net.loss") == derive_seed(1, "net.loss")
+        assert derive_seed(1, "net.loss") != derive_seed(2, "net.loss")
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+
+    def test_chance_edges(self):
+        streams = RandomStreams(0)
+        assert streams.chance("c", 0.0) is False
+        assert streams.chance("c", 1.0) is True
+
+    def test_uniform_range(self):
+        streams = RandomStreams(3)
+        for _ in range(50):
+            v = streams.uniform("u", 2.0, 5.0)
+            assert 2.0 <= v <= 5.0
+
+    def test_randint_range(self):
+        streams = RandomStreams(3)
+        values = {streams.randint("r", 1, 3) for _ in range(100)}
+        assert values == {1, 2, 3}
+
+    def test_choice_and_shuffled(self):
+        streams = RandomStreams(3)
+        seq = [1, 2, 3, 4]
+        assert streams.choice("c", seq) in seq
+        shuffled = streams.shuffled("s", seq)
+        assert sorted(shuffled) == seq
+        assert seq == [1, 2, 3, 4]  # original untouched
+
+
+class TestTracer:
+    def test_disabled_by_default(self):
+        sim = Simulator()
+        sim.trace.record("ipc", "send", n=1)
+        assert sim.trace.records == []
+
+    def test_enable_category(self):
+        sim = Simulator()
+        sim.trace.enable("ipc")
+        sim.trace.record("ipc", "send", n=1)
+        sim.trace.record("net", "drop")
+        assert len(sim.trace.records) == 1
+        assert sim.trace.records[0].category == "ipc"
+
+    def test_star_enables_everything(self):
+        sim = Simulator()
+        sim.trace.enable("*")
+        sim.trace.record("anything", "x")
+        assert len(sim.trace.records) == 1
+
+    def test_record_carries_time_and_data(self):
+        sim = Simulator()
+        sim.trace.enable("k")
+        sim.schedule(500, lambda: sim.trace.record("k", "event", value=42))
+        sim.run()
+        rec = sim.trace.records[0]
+        assert rec.time == 500
+        assert rec.get("value") == 42
+        assert rec.get("absent", "d") == "d"
+
+    def test_filter(self):
+        sim = Simulator()
+        sim.trace.enable("a", "b")
+        sim.trace.record("a", "x")
+        sim.trace.record("b", "x")
+        sim.trace.record("a", "y")
+        assert len(sim.trace.filter(category="a")) == 2
+        assert len(sim.trace.filter(message="x")) == 2
+        assert len(sim.trace.filter(category="a", message="x")) == 1
+
+    def test_disable_and_clear(self):
+        sim = Simulator()
+        sim.trace.enable("a")
+        sim.trace.record("a", "x")
+        sim.trace.disable("a")
+        sim.trace.record("a", "y")
+        assert len(sim.trace.records) == 1
+        sim.trace.clear()
+        assert sim.trace.records == []

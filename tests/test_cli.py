@@ -1,0 +1,39 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_info_command(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "SOSP 1985" in out
+    assert "3.01 s/MB" in out or "s/MB" in out
+    assert "100 us/op" in out
+
+
+def test_demo_command(capsys):
+    assert main(["demo", "--workstations", "3", "--seed", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "tex: exit 0" in out
+    assert "migrateprog" in out
+    assert "simulated seconds" in out
+
+
+def test_migrate_command(capsys):
+    assert main(["migrate", "--program", "optimizer"]) == 0
+    out = capsys.readouterr().out
+    assert "pre-copy round 0" in out
+    assert "freeze time" in out
+    assert "frozen residual" in out
+
+
+def test_default_is_demo(capsys):
+    assert main([]) == 0
+    assert "simulated seconds" in capsys.readouterr().out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,110 @@
+"""Unit tests for the hardware model and the error hierarchy."""
+
+from dataclasses import FrozenInstanceError, replace
+
+import pytest
+
+import repro
+from repro import errors
+from repro.config import DEFAULT_MODEL, PAGE_SIZE, HardwareModel
+
+
+class TestHardwareModel:
+    def test_model_is_immutable(self):
+        with pytest.raises(FrozenInstanceError):
+            DEFAULT_MODEL.packet_loss_rate = 0.5
+
+    def test_replace_derives_variant(self):
+        variant = replace(DEFAULT_MODEL, packet_loss_rate=0.2)
+        assert variant.packet_loss_rate == 0.2
+        assert DEFAULT_MODEL.packet_loss_rate == 0.0
+
+    def test_with_loss_helper(self):
+        assert DEFAULT_MODEL.with_loss(0.3).packet_loss_rate == 0.3
+
+    def test_packet_wire_time_scales_with_size(self):
+        small = DEFAULT_MODEL.packet_wire_us(64)
+        big = DEFAULT_MODEL.packet_wire_us(1024)
+        assert big > small
+
+    def test_packet_cost_includes_both_ends(self):
+        cost = DEFAULT_MODEL.packet_cost_us(100)
+        assert cost >= 2 * DEFAULT_MODEL.packet_process_us
+
+    def test_bulk_copy_monotone_and_linearish(self):
+        kb = DEFAULT_MODEL.bulk_copy_us(1024)
+        mb = DEFAULT_MODEL.bulk_copy_us(1024 * 1024)
+        assert 900 * kb < mb < 1100 * kb
+
+    def test_program_load_exceeds_raw_copy(self):
+        n = 100 * 1024
+        assert DEFAULT_MODEL.program_load_us(n) > DEFAULT_MODEL.bulk_copy_us(n)
+
+    def test_kernel_state_copy_paper_formula(self):
+        m = DEFAULT_MODEL
+        assert m.kernel_state_copy_us(0, 0) == m.kernel_state_copy_base_us
+        assert (
+            m.kernel_state_copy_us(2, 3) - m.kernel_state_copy_us(1, 3)
+            == m.kernel_state_copy_per_object_us
+        )
+
+    def test_page_size_is_sun2_page(self):
+        assert PAGE_SIZE == 2048
+
+    def test_paper_calibration_constants(self):
+        """The §4.1 constants are encoded verbatim."""
+        m = DEFAULT_MODEL
+        assert m.group_id_lookup_us == 100
+        assert m.frozen_check_us == 13
+        assert m.kernel_state_copy_base_us == 14_000
+        assert m.kernel_state_copy_per_object_us == 9_000
+        assert m.workstation_memory_bytes == 2 * 1024 * 1024
+        assert m.ethernet_bits_per_us == 10.0  # 10 Mbit/s
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception):
+                assert issubclass(obj, errors.ReproError) or obj is errors.ReproError
+
+    def test_specific_parentage(self):
+        assert issubclass(errors.SendTimeoutError, errors.IpcError)
+        assert issubclass(errors.CopyFailedError, errors.IpcError)
+        assert issubclass(errors.NoSuchProcessError, errors.KernelError)
+        assert issubclass(errors.OutOfMemoryError, errors.KernelError)
+        assert issubclass(errors.NoCandidateHostError, errors.ExecutionError)
+        assert issubclass(errors.MigrationAbortedError, errors.MigrationError)
+        assert issubclass(errors.NotMigratableError, errors.MigrationError)
+
+    def test_package_reexports(self):
+        assert repro.ReproError is errors.ReproError
+        assert repro.MigrationError is errors.MigrationError
+        assert isinstance(repro.__version__, str)
+
+    def test_catch_family_with_base(self):
+        with pytest.raises(repro.ReproError):
+            raise errors.SendTimeoutError("x")
+
+
+class TestProtocolInvariants:
+    def test_reply_retention_exceeds_retry_horizon(self):
+        """At-most-once depends on it: a sender retries for up to
+        (2 x max_retransmissions) x interval (rebind fallback included);
+        if every refresh is lost, the retained reply must still outlive
+        the sender's final retransmission."""
+        m = DEFAULT_MODEL
+        retry_horizon = 2 * m.max_retransmissions * m.retransmit_interval_us
+        assert m.reply_retention_us > retry_horizon * 1.2
+
+    def test_time_slice_smaller_than_editor_tolerance(self):
+        # An owner's keystroke can wait at most one slice behind an
+        # equal-priority peer; keep that below human perception.
+        assert DEFAULT_MODEL.time_slice_us <= 20_000
+
+    def test_precopy_policy_constants_sane(self):
+        m = DEFAULT_MODEL
+        assert m.precopy_max_rounds >= 2
+        assert 0 < m.precopy_min_reduction <= 1
+        assert m.precopy_residual_threshold_bytes >= PAGE_SIZE

@@ -1,0 +1,66 @@
+"""Smoke tests: every example script runs to completion and prints its
+headline output.  Examples are documentation that executes; these tests
+keep them honest."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name, capsys):
+    spec = importlib.util.spec_from_file_location(
+        f"example_{name}", EXAMPLES / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    module.main()
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = run_example("quickstart", capsys)
+    assert "tex: exit 0" in out
+    assert "migrateprog" in out
+    assert "idle" in out
+
+
+def test_compile_farm(capsys):
+    out = run_example("compile_farm", capsys)
+    assert "batch makespan" in out
+    assert "sooner" in out
+
+
+def test_owner_reclaim(capsys):
+    out = run_example("owner_reclaim", capsys)
+    assert "clear of remote work" in out
+    assert "exit 0" in out
+    assert "pool of processors" in out
+
+
+def test_distributed_program(capsys):
+    out = run_example("distributed_program", capsys)
+    assert "total = 14" in out
+    assert "machines did substantial work" in out
+
+
+def test_fault_injection(capsys):
+    out = run_example("fault_injection", capsys)
+    assert "migration ok=True" in out
+    assert "migration ok=False" in out
+    assert "behaved as the paper specifies" in out
+
+
+def test_load_balancing(capsys):
+    out = run_example("load_balancing", capsys)
+    assert "preemptive" in out
+    assert "faster" in out
+
+
+def test_remote_debugging(capsys):
+    out = run_example("remote_debugging", capsys)
+    assert "SAME session" in out
+    assert "re-attached after migration: suspended" in out

@@ -1,0 +1,116 @@
+"""Tests for the residency cap and CLOCK eviction."""
+
+import pytest
+
+from repro.config import DEFAULT_MODEL, PAGE_SIZE
+from repro.errors import KernelError
+from repro.kernel import AddressSpace, Compute, TouchPages
+from repro.vm import Pager
+
+from tests.helpers import BareCluster
+
+
+def capped_space(pages=16, cap=4):
+    space = AddressSpace(PAGE_SIZE * pages)
+    pager = Pager(DEFAULT_MODEL, max_resident=cap)
+    pager.attach(space, resident=False)
+    return space, pager
+
+
+class TestClockEviction:
+    def test_residency_never_exceeds_cap(self):
+        space, pager = capped_space(pages=16, cap=4)
+        for i in range(16):
+            pager.service_faults([i])
+            assert pager.resident_count() <= 4
+        assert pager.evictions == 12
+
+    def test_faulting_within_cap_evicts_nothing(self):
+        space, pager = capped_space(pages=16, cap=8)
+        pager.service_faults(range(8))
+        assert pager.evictions == 0
+        assert pager.resident_count() == 8
+
+    def test_referenced_pages_get_second_chance(self):
+        space, pager = capped_space(pages=8, cap=3)
+        pager.service_faults([0, 1, 2])
+        # Keep page 0 hot: its reference bit stays set.
+        space.pages[0].referenced = True
+        space.pages[1].referenced = False
+        space.pages[2].referenced = False
+        pager.service_faults([3])
+        # Page 1 (first unreferenced after the hand) went, page 0 stayed.
+        assert space.pages[0].resident
+        assert not space.pages[1].resident
+
+    def test_dirty_victim_is_written_back(self):
+        space, pager = capped_space(pages=8, cap=2)
+        pager.service_faults([0, 1])
+        space.touch_pages([0])  # page 0 is dirty now
+        space.pages[0].referenced = False
+        space.pages[1].referenced = False
+        cost = pager.service_faults([2])
+        assert pager.writeback_evictions == 1
+        assert pager.store[0] == space.pages[0].version
+        assert cost >= DEFAULT_MODEL.page_fault_service_us + \
+            DEFAULT_MODEL.page_flush_us_per_page
+
+    def test_evicted_dirty_page_round_trips(self):
+        """Write a page, evict it, fault it back: the version survives
+        via the file-server copy."""
+        space, pager = capped_space(pages=8, cap=2)
+        pager.service_faults([0, 1])
+        space.touch_pages([0, 0, 0])  # version 3
+        version = space.pages[0].version
+        space.pages[0].referenced = False
+        space.pages[1].referenced = True
+        pager.service_faults([2])     # evicts (flushes) page 0
+        assert not space.pages[0].resident
+        space.pages[0].version = 0    # simulate content leaving memory
+        pager.service_faults([0])     # fault back in
+        assert space.pages[0].version == version
+
+    def test_impossible_cap_raises(self):
+        space, pager = capped_space(pages=4, cap=0)
+        with pytest.raises(KernelError):
+            pager.service_faults([0])
+
+
+class TestThrashBehaviour:
+    def test_working_set_within_cap_stops_faulting(self):
+        """Once the working set is resident, repeated touches are free --
+        the locality property paging depends on."""
+        cluster = BareCluster(n=1)
+        ws = cluster.stations[0]
+        from repro.vm import attach_pager
+
+        def body():
+            for _ in range(50):
+                yield Compute(1_000)
+                yield TouchPages([0, 1, 2])
+
+        lh, pcb = cluster.spawn_program(ws, body(), space_bytes=PAGE_SIZE * 16)
+        pager = Pager(DEFAULT_MODEL, max_resident=6)
+        pager.attach(lh.spaces[0], resident=False)
+        cluster.run()
+        assert pager.faults == 3  # one cold fault per page, then none
+
+    def test_oversized_working_set_thrashes(self):
+        """A working set larger than the cap faults continuously -- and
+        the run takes visibly longer than the fitting case."""
+        cluster = BareCluster(n=1)
+        ws = cluster.stations[0]
+
+        def body(stride):
+            def gen():
+                for i in range(40):
+                    yield Compute(1_000)
+                    yield TouchPages([(i * stride) % 8, ((i * stride) + 4) % 8])
+            return gen
+
+        lh, pcb = cluster.spawn_program(ws, body(1)(), space_bytes=PAGE_SIZE * 8)
+        pager = Pager(DEFAULT_MODEL, max_resident=3)
+        pager.attach(lh.spaces[0], resident=False)
+        cluster.run()
+        assert pager.faults > 20
+        assert pager.evictions > 15

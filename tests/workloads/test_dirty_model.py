@@ -1,0 +1,134 @@
+"""Unit tests for the two-pool dirty model and the Table 4-1 fits."""
+
+import math
+import random
+
+import pytest
+
+from repro.workloads.dirty_model import PAGE_KB, TwoPoolDirtyModel
+from repro.workloads.table41 import (
+    FIT_INTERVALS_S,
+    FITTED_MODELS,
+    TABLE_4_1_KB,
+    dirty_model_for,
+)
+
+
+class TestModelAnalytics:
+    def test_expected_dirty_is_monotone_in_time(self):
+        model = TwoPoolDirtyModel(10, 50.0, 100, 2.0)
+        values = [model.expected_dirty_kb(t) for t in (10_000, 100_000, 1_000_000, 10_000_000)]
+        assert values == sorted(values)
+
+    def test_expected_dirty_bounded_by_footprint(self):
+        model = TwoPoolDirtyModel(10, 50.0, 100, 2.0)
+        assert model.expected_dirty_pages(10**9) <= model.total_pages
+
+    def test_zero_interval_dirties_nothing(self):
+        model = TwoPoolDirtyModel(10, 50.0, 100, 2.0)
+        assert model.expected_dirty_kb(0) == 0.0
+
+    def test_hot_pool_saturates_fast(self):
+        model = TwoPoolDirtyModel(4, 400.0, 0, 0.0)
+        # At 100 ms the hot pool is essentially fully dirty.
+        assert model.expected_dirty_pages(100_000) > 3.99
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TwoPoolDirtyModel(0, 1.0, 1, 1.0)
+        with pytest.raises(ValueError):
+            TwoPoolDirtyModel(1, -1.0, 1, 1.0)
+
+    def test_total_pages(self):
+        assert TwoPoolDirtyModel(3, 1.0, 7, 1.0).total_pages == 10
+
+
+class TestSampler:
+    def test_sampler_expectation_matches_analytic(self):
+        """Per-page Bernoulli sampling reproduces the analytic curve."""
+        model = TwoPoolDirtyModel(10, 80.0, 60, 4.0)
+        rng = random.Random(7)
+        interval_us = 1_000_000
+        tick_us = 20_000
+        trials = 60
+        total_distinct = 0
+        for _ in range(trials):
+            dirty = set()
+            for _ in range(interval_us // tick_us):
+                dirty.update(model.tick_pages(rng, tick_us))
+            total_distinct += len(dirty)
+        measured = total_distinct / trials
+        expected = model.expected_dirty_pages(interval_us)
+        assert abs(measured - expected) / expected < 0.08
+
+    def test_sampler_respects_base_page(self):
+        model = TwoPoolDirtyModel(5, 1000.0, 5, 1000.0)
+        rng = random.Random(1)
+        pages = model.tick_pages(rng, 100_000, base_page=100)
+        assert pages and all(100 <= p < 110 for p in pages)
+
+    def test_sampler_deterministic_per_seed(self):
+        model = TwoPoolDirtyModel(10, 80.0, 60, 4.0)
+        a = model.tick_pages(random.Random(3), 50_000)
+        b = model.tick_pages(random.Random(3), 50_000)
+        assert a == b
+
+
+class TestTable41Fits:
+    @pytest.mark.parametrize("program", sorted(TABLE_4_1_KB))
+    def test_fit_matches_paper_row(self, program):
+        """Every fitted model reproduces its Table 4-1 row.
+
+        Tolerance: 0.5 KB except the linking loader, whose published row
+        is non-monotone (39.2 KB at 1 s vs 37.8 KB at 3 s) and admits no
+        exact monotone fit; we require 1.5 KB there.
+        """
+        model = FITTED_MODELS[program]
+        tolerance = 1.5 if program == "linking_loader" else 0.5
+        for t_s, target_kb in zip(FIT_INTERVALS_S, TABLE_4_1_KB[program]):
+            fitted = model.expected_dirty_kb(int(t_s * 1_000_000))
+            assert abs(fitted - target_kb) <= tolerance, (
+                f"{program} at {t_s}s: fitted {fitted:.2f} vs paper {target_kb}"
+            )
+
+    def test_all_eight_programs_fitted(self):
+        assert set(FITTED_MODELS) == set(TABLE_4_1_KB)
+        assert len(FITTED_MODELS) == 8
+
+    def test_dirty_model_for_unknown_program(self):
+        with pytest.raises(KeyError):
+            dirty_model_for("emacs")
+
+    def test_compiler_phases_dirty_more_than_control_programs(self):
+        """The paper's qualitative shape: make/cc68 barely write; the
+        compiler phases and tex write heavily."""
+        one_sec = 1_000_000
+        for control in ("make", "cc68"):
+            for worker in ("preprocessor", "parser", "tex"):
+                assert (
+                    FITTED_MODELS[control].expected_dirty_kb(one_sec) * 10
+                    < FITTED_MODELS[worker].expected_dirty_kb(one_sec)
+                )
+
+    def test_tex_is_heaviest_dirtier(self):
+        one_sec = 1_000_000
+        tex = FITTED_MODELS["tex"].expected_dirty_kb(one_sec)
+        assert all(
+            FITTED_MODELS[p].expected_dirty_kb(one_sec) <= tex
+            for p in FITTED_MODELS
+        )
+
+
+class TestFitProcedure:
+    def test_fit_two_pool_recovers_known_model(self):
+        pytest.importorskip("scipy")
+        from repro.workloads.dirty_model import fit_two_pool
+
+        truth = TwoPoolDirtyModel(12, 90.0, 32, 5.0)
+        targets = [
+            truth.expected_dirty_kb(int(t * 1_000_000)) for t in (0.2, 1.0, 3.0)
+        ]
+        fitted = fit_two_pool(targets)
+        for t in (0.2, 1.0, 3.0):
+            us = int(t * 1_000_000)
+            assert abs(fitted.expected_dirty_kb(us) - truth.expected_dirty_kb(us)) < 0.5
