@@ -1,6 +1,6 @@
 # Convenience targets for the V-System reproduction.
 
-.PHONY: install test bench examples demo all
+.PHONY: install test bench bench-smoke examples demo all
 
 install:
 	pip install -e . || python setup.py develop
@@ -10,6 +10,11 @@ test:
 
 bench:
 	python -m pytest benchmarks/ --benchmark-only
+
+# Quick regression gate: re-measures the simulator-core fast paths and
+# fails on a >2x slowdown against the recorded BENCH_simcore.json.
+bench-smoke:
+	python -m pytest benchmarks/bench_simcore.py -m smoke -p no:cacheprovider
 
 examples:
 	for e in examples/*.py; do echo "== $$e"; python $$e; done

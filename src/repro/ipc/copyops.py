@@ -19,6 +19,7 @@ from typing import Dict, Tuple
 
 from repro.config import PAGE_SIZE
 from repro.errors import NoSuchProcessError
+from repro.kernel.address_space import Page
 from repro.kernel.ids import Pid
 from repro.net.packet import Packet
 
@@ -31,6 +32,16 @@ class PageSnapshot:
     def __init__(self, index: int, version: int):
         self.index = index
         self.version = version
+
+
+def _snapshot_pages(pages) -> list:
+    """Point-in-time captures of ``pages``, batched off the flat version
+    array when the pages are views of one (avoids a property call per
+    page on the bulk local-copy path)."""
+    if pages and type(pages[0]) is Page:
+        versions = pages[0].space.versions
+        return [PageSnapshot(p.index, versions[p.index]) for p in pages]
+    return [PageSnapshot(p.index, p.version) for p in pages]
 
 
 class CopyEngine:
@@ -85,11 +96,14 @@ class CopyEngine:
         )
 
     def _send_end(self, record, address) -> None:
+        indexes = record.page_indexes
+        if indexes is None:
+            indexes = record.page_indexes = tuple(p.index for p in record.pages)
         self.nic.send(Packet(
             self.nic.address, address, "copy-end",
             {"src": record.src_pid, "dst": record.dst, "seq": record.seq,
-             "count": len({p.index for p in record.pages}),
-             "indexes": tuple(p.index for p in record.pages)},
+             "count": len(set(indexes)),
+             "indexes": indexes},
         ))
 
     def on_copy_nak(self, packet: Packet) -> None:
@@ -166,7 +180,7 @@ class CopyEngine:
             )
             return
         cost = self.model.local_copy_us_per_page * len(record.pages)
-        snapshots = [PageSnapshot(p.index, p.version) for p in record.pages]
+        snapshots = _snapshot_pages(record.pages)
 
         def apply():
             target = self.find_copy_target(record.dst)
@@ -198,10 +212,14 @@ class CopyEngine:
         self._stream_reply(src, seq, snapshots, origin_addr, 0)
 
     def _snapshot(self, pcb, indexes):
+        space = pcb.space
+        if getattr(space, "FLAT", False):
+            # Batch read off the flat version array: no page views.
+            return [PageSnapshot(i, v) for i, v in space.version_items(indexes)]
         return [
-            PageSnapshot(pcb.space.pages[i].index, pcb.space.pages[i].version)
+            PageSnapshot(space.pages[i].index, space.pages[i].version)
             for i in indexes
-            if i < len(pcb.space.pages)
+            if i < len(space.pages)
         ]
 
     def _stream_reply(self, src, seq, snapshots, address, i) -> None:

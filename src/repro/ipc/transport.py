@@ -58,9 +58,9 @@ class ClientRecord:
 
     __slots__ = (
         "pcb", "src_pid", "dst", "seq", "message", "op", "pages", "indexes",
-        "completed", "retries_left", "used_rebind_fallback", "timer",
-        "is_group", "first_reply_at", "extra_replies", "received_snapshots",
-        "issued_at",
+        "page_indexes", "completed", "retries_left", "used_rebind_fallback",
+        "timer", "is_group", "first_reply_at", "extra_replies",
+        "received_snapshots", "issued_at",
     )
 
     def __init__(self, pcb: Pcb, dst: Pid, message: Optional[Message], op: str):
@@ -72,6 +72,9 @@ class ClientRecord:
         self.op = op  # 'send' | 'copyto' | 'copyfrom'
         self.pages: Tuple[Any, ...] = ()
         self.indexes: Tuple[int, ...] = ()
+        #: Lazily cached ``tuple(p.index for p in pages)`` (copy-end
+        #: packets re-announce it on every retransmission).
+        self.page_indexes: Optional[Tuple[int, ...]] = None
         self.completed = False
         self.retries_left = 0
         self.used_rebind_fallback = False

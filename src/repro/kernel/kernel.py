@@ -134,7 +134,8 @@ class Kernel:
         self.logical_hosts[new_lhid] = lh
         for pcb in lh.processes.values():
             pcb.pid = Pid(new_lhid, pcb.pid.local_index)
-        self.sim.trace.record("kernel", "change-lhid", old=old, new=new_lhid)
+        if self.sim.trace.active:
+            self.sim.trace.record("kernel", "change-lhid", old=old, new=new_lhid)
 
     def destroy_logical_host(self, lh: LogicalHost, migrated: bool = False) -> None:
         """Tear down a logical host.
@@ -215,12 +216,14 @@ class Kernel:
                 self.free_space(lh, pcb.space)
         if pcb.done_event is not None and not pcb.done_event.triggered:
             pcb.done_event.trigger(exit_code)
-        self.sim.trace.record("kernel", "destroy", pid=str(pcb.pid), name=pcb.name)
+        if self.sim.trace.active:
+            self.sim.trace.record("kernel", "destroy", pid=str(pcb.pid), name=pcb.name)
 
     def on_process_fault(self, pcb: Pcb, exc: Exception) -> None:
         """A program body raised: the program crashed."""
         self.faulted.append(pcb)
-        self.sim.trace.record("kernel", "fault", name=pcb.name, error=repr(exc))
+        if self.sim.trace.active:
+            self.sim.trace.record("kernel", "fault", name=pcb.name, error=repr(exc))
         self.destroy_process(pcb, exit_code=-1)
         if self.sim.strict:
             raise KernelError(f"program {pcb.name} crashed: {exc!r}") from exc
@@ -311,7 +314,8 @@ class Kernel:
             raise KernelError(f"{lh!r} is already frozen")
         lh.frozen = True
         self.scheduler.on_freeze(lh)
-        self.sim.trace.record("kernel", "freeze", lhid=lh.lhid)
+        if self.sim.trace.active:
+            self.sim.trace.record("kernel", "freeze", lhid=lh.lhid)
 
     def unfreeze_logical_host(self, lh: LogicalHost) -> None:
         """Resume a frozen logical host (after migration failure, or at
@@ -322,7 +326,8 @@ class Kernel:
         self.scheduler.on_unfreeze(lh)
         for pcb in lh.live_processes():
             self.ipc.deliver_queued(pcb)
-        self.sim.trace.record("kernel", "unfreeze", lhid=lh.lhid)
+        if self.sim.trace.active:
+            self.sim.trace.record("kernel", "unfreeze", lhid=lh.lhid)
 
     # ---------------------------------------------------------------- load
 

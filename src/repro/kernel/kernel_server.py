@@ -310,7 +310,8 @@ def _h_install_state(kernel, sender, msg):
         # The §3.1.4 optimization: broadcast the new binding at unfreeze
         # instead of waiting for every peer to time out and re-query.
         kernel.ipc.announce_binding(shell.lhid)
-    kernel.sim.trace.record("migration", "installed", lhid=shell.lhid, host=kernel.name)
+    if kernel.sim.trace.active:
+        kernel.sim.trace.record("migration", "installed", lhid=shell.lhid, host=kernel.name)
     return Message("installed", lhid=shell.lhid)
 
 

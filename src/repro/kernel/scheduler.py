@@ -323,10 +323,9 @@ class Scheduler:
         elif isinstance(instruction, Touch):
             fault_us = 0
             if pcb.space.pager is not None:
-                indexes = pcb.space.pager.indexes_for_touch(
+                fault_us = pcb.space.pager.service_faults_span(
                     instruction.offset, instruction.nbytes
                 )
-                fault_us = pcb.space.pager.service_faults(indexes)
                 self.busy_us += fault_us
             pcb.space.touch(instruction.offset, instruction.nbytes, instruction.write)
             self.sim.schedule(charge + fault_us, self._execute, pcb)

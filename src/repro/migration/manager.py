@@ -127,7 +127,8 @@ def _attempt(kernel, lh, policy, dest_pm, stats, sim):
     if shell_reply.kind != "shell-created":
         return f"shell creation refused: {shell_reply.get('error')}"
     temp_lhid = shell_reply["temp_lhid"]
-    sim.trace.record("migration", "shell", lhid=lh.lhid, temp=temp_lhid)
+    if sim.trace.active:
+        sim.trace.record("migration", "shell", lhid=lh.lhid, temp=temp_lhid)
 
     # -- step 3: pre-copy ------------------------------------------------------
     residuals: Dict[int, List] = {}
@@ -182,10 +183,11 @@ def _attempt(kernel, lh, policy, dest_pm, stats, sim):
     # -- step 5: delete the old copy; references rebind lazily ----------------
     if kernel.logical_hosts.get(lh.lhid) is lh:
         kernel.destroy_logical_host(lh, migrated=True)
-    sim.trace.record(
-        "migration", "complete", lhid=lh.lhid, freeze_us=stats.freeze_us,
-        rounds=stats.precopy_rounds, residual=stats.residual_bytes,
-    )
+    if sim.trace.active:
+        sim.trace.record(
+            "migration", "complete", lhid=lh.lhid, freeze_us=stats.freeze_us,
+            rounds=stats.precopy_rounds, residual=stats.residual_bytes,
+        )
     return None
 
 

@@ -72,7 +72,9 @@ def precopy_space(
     """
     # Round 0: the complete address space.  Clearing the dirty bits first
     # means "modified during this copy" is exactly what the next round's
-    # scan returns.
+    # scan returns.  On flat spaces both the clear and every later scan
+    # are O(dirty) mask operations, so the simulator's own cost per round
+    # tracks the pages actually recopied, not the space size.
     space.collect_dirty()
     started = sim.now
     yield CopyToInstr(target, space.pages)

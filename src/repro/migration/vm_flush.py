@@ -90,15 +90,15 @@ def run_vm_flush_migration(
     for ordinal, pager in pagers.items():
         previous = 0
         while True:
-            dirty = pager.dirty_resident_pages()
-            if not dirty:
+            n_dirty = pager.dirty_resident_count()
+            if not n_dirty:
                 break
             if stats.rounds and policy.should_stop(
-                len(dirty), previous, len(stats.rounds)
+                n_dirty, previous, len(stats.rounds)
             ):
                 break
             started = sim.now
-            count, cost = pager.flush(dirty)
+            count, cost = pager.flush_dirty_resident()
             yield Delay(cost)
             stats.add_round(count, sim.now - started)
             previous = count
@@ -147,8 +147,9 @@ def run_vm_flush_migration(
         kernel.destroy_logical_host(lh, migrated=True)
     stats.success = True
     stats.total_us = sim.now - stats.started_at
-    sim.trace.record(
-        "migration", "vm-flush-complete", lhid=lh.lhid,
-        freeze_us=stats.freeze_us, flushes=sum(r.pages for r in stats.rounds),
-    )
+    if sim.trace.active:
+        sim.trace.record(
+            "migration", "vm-flush-complete", lhid=lh.lhid,
+            freeze_us=stats.freeze_us, flushes=sum(r.pages for r in stats.rounds),
+        )
     return stats

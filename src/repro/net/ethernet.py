@@ -30,6 +30,10 @@ class Ethernet:
         self.model = model
         self.loss = loss if loss is not None else NoLoss()
         self._nics: Dict[HostAddress, "Nic"] = {}
+        #: NICs in deterministic (address-sorted) delivery order, rebuilt
+        #: lazily after attach/detach so broadcast delivery does not
+        #: re-sort on every frame.
+        self._sorted_nics: Optional[List["Nic"]] = None
         #: Earliest time the bus is free for the next transmission.
         self._busy_until = 0
         #: Counters for experiment reports.
@@ -46,13 +50,27 @@ class Ethernet:
         if nic.address.is_broadcast:
             raise SimulationError("cannot attach a NIC at the broadcast address")
         self._nics[nic.address] = nic
+        self._sorted_nics = None
         nic.ethernet = self
 
     def detach(self, nic: "Nic") -> None:
         """Disconnect a NIC (host crash/power-off); in-flight frames to it
         are lost."""
         self._nics.pop(nic.address, None)
+        self._sorted_nics = None
         nic.ethernet = None
+
+    def _delivery_order(self) -> List["Nic"]:
+        """Attached NICs, address-sorted; cached until the next
+        attach/detach."""
+        order = self._sorted_nics
+        if order is None:
+            order = [
+                nic for _, nic in
+                sorted(self._nics.items(), key=lambda kv: kv[0].value)
+            ]
+            self._sorted_nics = order
+        return order
 
     def nic_at(self, address: HostAddress) -> Optional["Nic"]:
         """The NIC currently attached at ``address``, if any."""
@@ -61,7 +79,7 @@ class Ethernet:
     @property
     def addresses(self) -> List[HostAddress]:
         """Addresses of all attached NICs (sorted for determinism)."""
-        return sorted(self._nics, key=lambda a: a.value)
+        return [nic.address for nic in self._delivery_order()]
 
     # ----------------------------------------------------------- transmission
 
@@ -77,24 +95,28 @@ class Ethernet:
         self._busy_until = done
         self.packets_sent += 1
         self.bytes_sent += packet.size_bytes
-        self.sim.trace.record(
-            "net", "transmit", packet_id=packet.packet_id, kind=packet.kind,
-            src=str(packet.src), dst=str(packet.dst), size=packet.size_bytes,
-        )
+        trace = self.sim.trace
+        if trace.active:
+            trace.record(
+                "net", "transmit", packet_id=packet.packet_id, kind=packet.kind,
+                src=str(packet.src), dst=str(packet.dst), size=packet.size_bytes,
+            )
         self.sim.schedule_at(done, self._deliver, packet)
 
     def _deliver(self, packet: Packet) -> None:
         if packet.is_broadcast:
-            targets = [n for a, n in sorted(self._nics.items(), key=lambda kv: kv[0].value)
-                       if a != packet.src]
+            src = packet.src
+            targets = [n for n in self._delivery_order() if n.address != src]
         else:
             nic = self._nics.get(packet.dst)
             targets = [nic] if nic is not None else []
+        trace = self.sim.trace
         for nic in targets:
             if self.loss.drops(self.sim, packet):
                 self.packets_dropped += 1
-                self.sim.trace.record(
-                    "net", "drop", packet_id=packet.packet_id, dst=str(nic.address),
-                )
+                if trace.active:
+                    trace.record(
+                        "net", "drop", packet_id=packet.packet_id, dst=str(nic.address),
+                    )
                 continue
             nic.receive(packet)

@@ -1,8 +1,21 @@
-"""The discrete-event simulator core: clock, event heap, task spawning."""
+"""The discrete-event simulator core: clock, event heap, task spawning.
+
+Hot-path notes.  The simulator recycles :class:`Timer` objects through a
+small free pool: when a fired (or cancelled-and-popped) timer has no
+surviving external references -- checked with ``sys.getrefcount``, so a
+handle someone still holds is never reused -- it is reset and handed to
+the next ``schedule`` call instead of allocating afresh.  Cancelled
+timers that would otherwise sit in the heap until their deadline are
+compacted away in one pass whenever they exceed half the heap (heap
+rebuilds preserve the (time, seq) order exactly, so determinism is
+unaffected).  ``alive_event_count`` reports only live entries, which is
+what budget checks want.
+"""
 
 from __future__ import annotations
 
 import heapq
+from sys import getrefcount
 from typing import Any, Callable, List, Optional, Tuple
 
 from repro.errors import SimulationError
@@ -11,21 +24,37 @@ from repro.sim.process import Task, TaskFailed
 from repro.sim.random import RandomStreams
 from repro.sim.trace import Tracer
 
+#: Upper bound on pooled Timer objects kept for reuse.
+_TIMER_POOL_MAX = 256
+#: Compact the heap once this many cancelled timers accumulate *and*
+#: they make up more than half of it.
+_COMPACT_MIN_CANCELLED = 64
+
 
 class Timer:
     """Handle for a scheduled callback; supports cancellation."""
 
-    __slots__ = ("time", "fn", "args", "cancelled")
+    __slots__ = ("time", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, time: int, fn: Callable, args: Tuple[Any, ...]):
+    def __init__(self, time: int, fn: Callable, args: Tuple[Any, ...], sim=None):
         self.time = time
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from firing; safe to call repeatedly."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            self.fn = None
+            self.args = ()
+            # _sim is set while the timer sits in the heap and detached
+            # once it leaves (fired or swept), so cancelling a stale
+            # handle cannot skew the live-entry accounting.
+            sim = self._sim
+            if sim is not None:
+                sim._cancelled_alive += 1
 
 
 class Simulator:
@@ -59,6 +88,13 @@ class Simulator:
         #: inspect :attr:`failures` instead.
         self.strict = True
         self._event_count = 0
+        #: Cancelled timers still sitting in the heap.
+        self._cancelled_alive = 0
+        self._timer_pool: List[Timer] = []
+        #: Heap compactions performed (perf counters for bench_simcore).
+        self.compactions = 0
+        #: Timer objects served from the free pool instead of allocated.
+        self.timers_reused = 0
 
     # ------------------------------------------------------------ properties
 
@@ -72,6 +108,13 @@ class Simulator:
         """Number of events processed so far (for budget checks)."""
         return self._event_count
 
+    @property
+    def alive_event_count(self) -> int:
+        """Scheduled events that will actually fire: heap entries minus
+        cancelled timers awaiting removal.  Budget and quiescence checks
+        should use this, not ``len`` of the raw heap."""
+        return len(self._heap) - self._cancelled_alive
+
     # ------------------------------------------------------------ scheduling
 
     def schedule(self, delay_us: int, fn: Callable, *args: Any) -> Timer:
@@ -79,9 +122,20 @@ class Simulator:
         cancellable :class:`Timer`."""
         if delay_us < 0:
             raise SimulationError(f"cannot schedule {delay_us} us in the past")
-        timer = Timer(self._now + int(delay_us), fn, args)
+        time = self._now + int(delay_us)
+        pool = self._timer_pool
+        if pool:
+            timer = pool.pop()
+            timer.time = time
+            timer.fn = fn
+            timer.args = args
+            timer.cancelled = False
+            timer._sim = self
+            self.timers_reused += 1
+        else:
+            timer = Timer(time, fn, args, self)
         self._seq += 1
-        heapq.heappush(self._heap, (timer.time, self._seq, timer))
+        heapq.heappush(self._heap, (time, self._seq, timer))
         return timer
 
     def schedule_at(self, time_us: int, fn: Callable, *args: Any) -> Timer:
@@ -97,6 +151,42 @@ class Simulator:
         task = Task(self, gen, name)
         task._start()
         return task
+
+    # ------------------------------------------------------------- recycling
+
+    def _recycle(self, timer: Timer) -> None:
+        """Return ``timer`` to the free pool if nothing else can still
+        reach it.  Expected references at the call site: the caller's
+        local plus ``getrefcount``'s own argument -- anything more means
+        a user handle survives and the object must not be reused (a
+        stale ``cancel()`` through it would kill an unrelated event)."""
+        if len(self._timer_pool) < _TIMER_POOL_MAX and getrefcount(timer) <= 3:
+            timer.fn = None
+            timer.args = ()
+            timer.cancelled = False
+            self._timer_pool.append(timer)
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry from the heap in one pass (instead
+        of popping them one at a time through the run loop).  Rebuilding
+        keeps every live (time, seq, timer) entry, so pop order -- and
+        with it determinism -- is unchanged."""
+        live = []
+        pool = self._timer_pool
+        for entry in self._heap:
+            timer = entry[2]
+            if timer.cancelled:
+                timer._sim = None
+                # Refs: the entry tuple + our local + getrefcount's arg.
+                if len(pool) < _TIMER_POOL_MAX and getrefcount(timer) <= 3:
+                    timer.cancelled = False
+                    pool.append(timer)
+            else:
+                live.append(entry)
+        heapq.heapify(live)
+        self._heap = live
+        self._cancelled_alive = 0
+        self.compactions += 1
 
     # ----------------------------------------------------------------- run
 
@@ -116,20 +206,39 @@ class Simulator:
         self._running = True
         try:
             budget = max_events if max_events is not None else -1
-            while self._heap:
-                time, _seq, timer = self._heap[0]
+            heap = self._heap
+            while heap:
+                time, _seq, timer = heap[0]
+                if timer.cancelled:
+                    # A heap with mostly-dead entries is swept in one
+                    # compaction pass rather than popped one-by-one.
+                    if (
+                        self._cancelled_alive >= _COMPACT_MIN_CANCELLED
+                        and self._cancelled_alive * 2 > len(heap)
+                    ):
+                        self._compact()
+                        heap = self._heap
+                    else:
+                        heapq.heappop(heap)
+                        self._cancelled_alive -= 1
+                        timer._sim = None
+                        self._recycle(timer)
+                    continue
                 if until_us is not None and time > until_us:
                     break
-                heapq.heappop(self._heap)
-                if timer.cancelled:
-                    continue
+                heapq.heappop(heap)
                 if time < self._now:
                     raise SimulationError("event heap produced time travel")
                 self._now = time
                 self._event_count += 1
-                timer.fn(*timer.args)
+                # Detach before firing: the callback may cancel its own
+                # (now already-dequeued) handle.
+                timer._sim = None
+                fn, args = timer.fn, timer.args
+                fn(*args)
                 if self.strict and self.failures:
                     raise self.failures[0]
+                self._recycle(timer)
                 if budget > 0:
                     budget -= 1
                     if budget == 0:
@@ -146,10 +255,21 @@ class Simulator:
 
     def peek(self) -> Optional[int]:
         """Time of the next live event, or None if the heap is empty."""
-        while self._heap:
-            time, _seq, timer = self._heap[0]
+        heap = self._heap
+        while heap:
+            time, _seq, timer = heap[0]
             if timer.cancelled:
-                heapq.heappop(self._heap)
+                if (
+                    self._cancelled_alive >= _COMPACT_MIN_CANCELLED
+                    and self._cancelled_alive * 2 > len(heap)
+                ):
+                    self._compact()
+                    heap = self._heap
+                else:
+                    heapq.heappop(heap)
+                    self._cancelled_alive -= 1
+                    timer._sim = None
+                    self._recycle(timer)
                 continue
             return time
         return None

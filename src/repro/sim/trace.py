@@ -1,14 +1,19 @@
 """Lightweight event tracing for debugging and experiment reports.
 
-Tracing is off by default (zero-cost beyond one branch).  Enable whole
-categories -- e.g. ``sim.trace.enable("ipc", "migration")`` -- and the
-tracer accumulates :class:`TraceRecord` tuples that tests and the
-benchmark harness can filter.
+Tracing is off by default and *zero-cost* when off: hot call sites guard
+on the plain :attr:`Tracer.active` attribute before building any keyword
+arguments, so a disabled tracer costs one attribute load and one branch
+-- no dict, no tuple, no call.  Enable whole categories -- e.g.
+``sim.trace.enable("ipc", "migration")`` -- and the tracer accumulates
+:class:`TraceRecord` tuples that tests and the benchmark harness can
+filter.  For long soak runs, :meth:`Tracer.use_ring_buffer` bounds
+memory by keeping only the newest N records.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
 from typing import Any, List, Optional, Set, Tuple
 
 
@@ -35,23 +40,41 @@ class Tracer:
     def __init__(self, sim):
         self._sim = sim
         self._enabled: Set[str] = set()
+        #: True when at least one category is enabled.  Hot paths read
+        #: this *before* calling :meth:`record` so that a disabled
+        #: tracer never pays for keyword-argument construction.
+        self.active = False
         self.records: List[TraceRecord] = []
 
     def enable(self, *categories: str) -> None:
         """Start recording the given categories ('*' records everything)."""
         self._enabled.update(categories)
+        self.active = bool(self._enabled)
 
     def disable(self, *categories: str) -> None:
         """Stop recording the given categories."""
         self._enabled.difference_update(categories)
+        self.active = bool(self._enabled)
 
     def enabled(self, category: str) -> bool:
         """Whether records in ``category`` are being kept."""
         return category in self._enabled or "*" in self._enabled
 
+    def use_ring_buffer(self, capacity: int) -> None:
+        """Keep only the newest ``capacity`` records (bounded memory for
+        long traced runs); existing records carry over, oldest-first
+        eviction.  Call :meth:`use_unbounded` to switch back."""
+        self.records = deque(self.records, maxlen=capacity)
+
+    def use_unbounded(self) -> None:
+        """Return to the default grow-without-bound record list."""
+        self.records = list(self.records)
+
     def record(self, category: str, message: str, **data: Any) -> None:
         """Append a record if the category is enabled."""
-        if self.enabled(category):
+        if not self.active:
+            return
+        if category in self._enabled or "*" in self._enabled:
             self.records.append(
                 TraceRecord(self._sim.now, category, message, tuple(sorted(data.items())))
             )

@@ -6,6 +6,15 @@ version) conceptually lives *at the file server*: it is global state,
 so a migration hands the pager object to the destination rather than
 copying anything -- precisely the paper's residual-dependency principle
 (state at global servers "does not need to move", §6).
+
+Performance.  On flat (bitmap) address spaces every scan here is mask
+arithmetic: ``dirty_resident_pages`` intersects two ints, ``flush`` of
+the whole dirty set walks only set bits, and the CLOCK eviction hand
+finds its victim with bit-twiddling instead of stepping page objects one
+at a time.  Spaces without the flat representation (``FLAT`` false,
+e.g. the legacy baseline used by ``bench_simcore``) fall back to the
+seed's object walks -- behaviour is identical either way, which
+``tests/properties`` asserts.
 """
 
 from __future__ import annotations
@@ -14,7 +23,13 @@ from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.config import HardwareModel
 from repro.errors import KernelError
-from repro.kernel.address_space import AddressSpace, Page
+from repro.kernel.address_space import AddressSpace, Page, bit_indexes, iter_bits
+
+try:  # Python >= 3.10
+    _popcount = int.bit_count
+except AttributeError:  # pragma: no cover - 3.9 fallback
+    def _popcount(mask: int) -> int:
+        return bin(mask).count("1")
 
 
 class Pager:
@@ -53,8 +68,11 @@ class Pager:
         the file server on first touch)."""
         self.space = space
         space.pager = self
-        for page in space.pages:
-            page.resident = resident
+        if getattr(space, "FLAT", False):
+            space.resident_mask = space.full_mask if resident else 0
+        else:
+            for page in space.pages:
+                page.resident = resident
         return self
 
     # --------------------------------------------------------------- faults
@@ -67,35 +85,93 @@ class Pager:
         With a residency cap, each fault beyond the cap first evicts a
         CLOCK victim; dirty victims are written back to the file server,
         adding their flush time to the fault."""
-        if self.space is None:
+        space = self.space
+        if space is None:
             raise KernelError("pager not attached to a space")
         cost = 0
-        for index in indexes:
-            page = self.space.pages[index]
-            if page.resident:
-                continue
-            if self.max_resident is not None:
-                while self.resident_count() >= self.max_resident:
-                    cost += self._evict_clock_victim(protect=index)
-            stored = self.store.get(index)
-            if stored is not None and stored > page.version:
-                page.version = stored
-                self.double_transfers += 1
-            page.resident = True
-            self.faults += 1
-            cost += self.model.page_fault_service_us
+        if getattr(space, "FLAT", False):
+            capped = self.max_resident is not None
+            store = self.store
+            versions = space.versions
+            fault_us_per = self.model.page_fault_service_us
+            for index in indexes:
+                bit = 1 << index
+                if space._resident & bit:
+                    continue
+                if capped:
+                    while _popcount(space._resident) >= self.max_resident:
+                        cost += self._evict_clock_victim(protect=index)
+                stored = store.get(index)
+                if stored is not None and stored > versions[index]:
+                    versions[index] = stored
+                    self.double_transfers += 1
+                space._resident |= bit
+                self.faults += 1
+                cost += fault_us_per
+        else:
+            for index in indexes:
+                page = space.pages[index]
+                if page.resident:
+                    continue
+                if self.max_resident is not None:
+                    while self.resident_count() >= self.max_resident:
+                        cost += self._evict_clock_victim(protect=index)
+                stored = self.store.get(index)
+                if stored is not None and stored > page.version:
+                    page.version = stored
+                    self.double_transfers += 1
+                page.resident = True
+                self.faults += 1
+                cost += self.model.page_fault_service_us
         self.fault_us += cost
         return cost
 
+    def service_faults_span(self, offset: int, nbytes: int) -> int:
+        """Fault in the non-resident pages covering a byte range.
+
+        On an uncapped flat space this touches only the *faulting* pages
+        (one mask intersection finds them); a residency cap needs the
+        index-order walk because each eviction can change residency
+        mid-scan."""
+        space = self.space
+        if space is None:
+            raise KernelError("pager not attached to a space")
+        if nbytes <= 0:
+            return 0
+        if getattr(space, "FLAT", False) and self.max_resident is None:
+            missing = space.span_mask(offset, nbytes) & ~space._resident
+            if not missing:
+                return 0
+            cost = 0
+            store = self.store
+            versions = space.versions
+            for index in iter_bits(missing):
+                stored = store.get(index)
+                if stored is not None and stored > versions[index]:
+                    versions[index] = stored
+                    self.double_transfers += 1
+                self.faults += 1
+                cost += self.model.page_fault_service_us
+            space._resident |= missing
+            self.fault_us += cost
+            return cost
+        return self.service_faults(self.indexes_for_touch(offset, nbytes))
+
     def resident_count(self) -> int:
         """Pages currently in physical memory."""
-        return sum(1 for p in self.space.pages if p.resident)
+        space = self.space
+        if getattr(space, "FLAT", False):
+            return _popcount(space._resident)
+        return sum(1 for p in space.pages if p.resident)
 
     def _evict_clock_victim(self, protect: int) -> int:
         """Second-chance (CLOCK) eviction: sweep the reference bits,
         evict the first unreferenced resident page (never ``protect``).
         Returns the time cost (a dirty victim is flushed first)."""
-        pages = self.space.pages
+        space = self.space
+        if getattr(space, "FLAT", False):
+            return self._evict_clock_victim_flat(space, protect)
+        pages = space.pages
         n = len(pages)
         cost = 0
         for _ in range(2 * n):  # at most two sweeps: all bits cleared once
@@ -119,6 +195,60 @@ class Pager:
             f"{self.name}: no evictable page (cap {self.max_resident} too small?)"
         )
 
+    def _evict_clock_victim_flat(self, space: AddressSpace, protect: int) -> int:
+        """CLOCK over the bitmasks: identical victim, identical
+        second-chance clearing, no per-page object stepping.
+
+        The sweep's observable effects are (a) reference bits of the
+        resident, non-protected pages it passes get cleared and (b) the
+        first such page found unreferenced is evicted; both fall out of
+        mask arithmetic on the region between the hand and the victim.
+        """
+        n = space.n_pages
+        protect_bit = 1 << protect
+        candidates = space._resident & ~protect_bit
+        if not candidates:
+            raise KernelError(
+                f"{self.name}: no evictable page (cap {self.max_resident} too small?)"
+            )
+        hand = self._clock_hand
+        at_or_after = space.full_mask & ~((1 << hand) - 1)
+        referenced = space._referenced
+        unref = candidates & ~referenced
+
+        ahead = unref & at_or_after
+        if ahead:
+            victim = (ahead & -ahead).bit_length() - 1
+            passed = at_or_after & ((1 << victim) - 1)
+        else:
+            behind = unref & ~at_or_after
+            if behind:
+                # Wrapped once: swept [hand, n) then [0, victim).
+                victim = (behind & -behind).bit_length() - 1
+                passed = at_or_after | ((1 << victim) - 1)
+            else:
+                # Every candidate is referenced: the first lap clears
+                # them all, the second lap evicts the first candidate at
+                # or after the hand (wrapping).
+                passed = space.full_mask
+                ahead2 = candidates & at_or_after
+                pick = ahead2 if ahead2 else candidates
+                victim = (pick & -pick).bit_length() - 1
+        space._referenced = referenced & ~(candidates & passed)
+
+        victim_bit = 1 << victim
+        cost = 0
+        if space._dirty & victim_bit:
+            self.store[victim] = space.versions[victim]
+            space._dirty &= ~victim_bit
+            self.flushed_pages += 1
+            self.writeback_evictions += 1
+            cost += self.model.page_flush_us_per_page
+        space._resident &= ~victim_bit
+        self.evictions += 1
+        self._clock_hand = (victim + 1) % n
+        return cost
+
     def indexes_for_touch(self, offset: int, nbytes: int) -> List[int]:
         """Page indexes covered by a byte-range touch."""
         if nbytes <= 0:
@@ -131,12 +261,27 @@ class Pager:
 
     # -------------------------------------------------------------- flushing
 
+    def dirty_resident_count(self) -> int:
+        """How many pages would need flushing before the space could be
+        dropped from this host (one popcount on flat spaces)."""
+        space = self.space
+        if space is None:
+            return 0
+        if getattr(space, "FLAT", False):
+            return _popcount(space._dirty & space._resident)
+        return sum(1 for p in space.pages if p.resident and p.dirty)
+
     def dirty_resident_pages(self) -> List[Page]:
         """Pages that would need flushing before the space could be
         dropped from this host."""
-        if self.space is None:
+        space = self.space
+        if space is None:
             return []
-        return [p for p in self.space.pages if p.resident and p.dirty]
+        if getattr(space, "FLAT", False):
+            views = space._views()
+            return list(map(views.__getitem__,
+                            bit_indexes(space._dirty & space._resident)))
+        return [p for p in space.pages if p.resident and p.dirty]
 
     def flush(self, pages: Iterable[Page]) -> Tuple[int, int]:
         """Write the given pages to the file server; clears their dirty
@@ -150,15 +295,43 @@ class Pager:
         self.flushed_pages += count
         return count, count * self.model.page_flush_us_per_page
 
+    def flush_dirty_resident(self) -> Tuple[int, int]:
+        """Flush every resident dirty page; O(dirty) on flat spaces."""
+        space = self.space
+        if space is None:
+            return 0, 0
+        if getattr(space, "FLAT", False):
+            mask = space._dirty & space._resident
+            if not mask:
+                return 0, 0
+            versions = space.versions
+            indexes = bit_indexes(mask)
+            self.store.update(zip(indexes, map(versions.__getitem__, indexes)))
+            space._dirty &= ~mask
+            count = len(indexes)
+            self.flushed_pages += count
+            return count, count * self.model.page_flush_us_per_page
+        return self.flush(self.dirty_resident_pages())
+
     def flush_all_dirty(self) -> Tuple[int, int]:
         """Flush every resident dirty page."""
-        return self.flush(self.dirty_resident_pages())
+        return self.flush_dirty_resident()
 
     def evict_clean(self) -> int:
         """Drop resident pages whose stored copy is current (they can
         fault back in); returns how many were evicted."""
+        space = self.space
+        if getattr(space, "FLAT", False):
+            store = self.store
+            versions = space.versions
+            evicted_mask = 0
+            for index in iter_bits(space._resident & ~space._dirty):
+                if store.get(index) == versions[index]:
+                    evicted_mask |= 1 << index
+            space._resident &= ~evicted_mask
+            return _popcount(evicted_mask)
         evicted = 0
-        for page in self.space.pages:
+        for page in space.pages:
             if page.resident and not page.dirty and self.store.get(page.index) == page.version:
                 page.resident = False
                 evicted += 1
