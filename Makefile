@@ -1,6 +1,6 @@
 # Convenience targets for the V-System reproduction.
 
-.PHONY: install test bench bench-smoke examples demo all
+.PHONY: install test bench bench-smoke examples demo trace-demo all
 
 install:
 	pip install -e . || python setup.py develop
@@ -21,5 +21,11 @@ examples:
 
 demo:
 	python -m repro demo
+
+# Run a traced migration and emit a Chrome/Perfetto timeline; open
+# timeline.json in https://ui.perfetto.dev to browse it.
+trace-demo:
+	python -m repro trace --program optimizer --out timeline.json
+	@echo "wrote timeline.json (load it at https://ui.perfetto.dev)"
 
 all: install test bench

@@ -184,12 +184,16 @@ def _measure_precopy(space_cls, cycles):
 
 # -- scenario 2: 16-host migration storm -------------------------------------
 
-def _run_storm(space_cls, seed=STORM_SEED):
+def _run_storm(space_cls, seed=STORM_SEED, instrument=None):
     """Build a 16-workstation cluster, thrash six demand-paged programs
     against a residency cap, then migrate all six concurrently (pre-copy
     and VM-flush alternating).  ``space_cls`` is patched in as *the*
     AddressSpace for the whole scenario, so the legacy run exercises the
-    seed's object-walk scans end to end."""
+    seed's object-walk scans end to end.
+
+    ``instrument(cluster)`` runs right after the cluster is built and
+    before the timed region's activity -- used to switch observability
+    on for the metrics-overhead comparison."""
     import repro.execution.program as program_mod
     import repro.kernel.kernel as kernel_mod
 
@@ -203,6 +207,8 @@ def _run_storm(space_cls, seed=STORM_SEED):
             registry=_storm_registry(),
         )
         sim = cluster.sim
+        if instrument is not None:
+            instrument(cluster)
 
         holders = []
         for i, prog in enumerate(STORM_PROGRAMS, start=1):
@@ -297,12 +303,12 @@ def _run_storm(space_cls, seed=STORM_SEED):
         kernel_mod.AddressSpace, program_mod.AddressSpace = saved
 
 
-def _measure_storm(space_cls, repeats=3):
+def _measure_storm(space_cls, repeats=3, instrument=None):
     """Best-of-``repeats`` wall clock for the storm; the simulated
     trajectory is deterministic, so every repeat must agree on it."""
     best = None
     for _ in range(repeats):
-        run = _run_storm(space_cls)
+        run = _run_storm(space_cls, instrument=instrument)
         if best is None:
             best = run
         else:
@@ -311,6 +317,37 @@ def _measure_storm(space_cls, repeats=3):
             if run["seconds"] < best["seconds"]:
                 best = run
     return best
+
+
+def _enable_metrics(cluster):
+    cluster.sim.metrics.enable()
+
+
+def _measure_metrics_overhead(disabled=None, repeats=3):
+    """Wall-clock cost of the unified metrics registry on the storm.
+
+    Runs the flat-page-table storm with ``sim.metrics`` enabled and
+    compares against the instrumented-but-disabled run (``disabled``,
+    measured by the caller or remeasured here).  Both runs must take the
+    identical simulated trajectory -- instrumentation only observes."""
+    if disabled is None:
+        disabled = _measure_storm(AddressSpace, repeats=repeats)
+    enabled = _measure_storm(AddressSpace, repeats=repeats,
+                             instrument=_enable_metrics)
+    identical = (
+        enabled["sim_time_us"] == disabled["sim_time_us"]
+        and enabled["events"] == disabled["events"]
+        and enabled["outcomes"] == disabled["outcomes"]
+    )
+    return {
+        "scenario": "migration_storm (flat page tables)",
+        "disabled_seconds": round(disabled["seconds"], 3),
+        "enabled_seconds": round(enabled["seconds"], 3),
+        "overhead_ratio": round(enabled["seconds"] / disabled["seconds"], 3),
+        "disabled_events_per_sec": disabled["events_per_sec"],
+        "enabled_events_per_sec": enabled["events_per_sec"],
+        "identical_trajectory": identical,
+    }
 
 
 # -- scenario 3: event-heap churn ---------------------------------------------
@@ -364,6 +401,7 @@ def collect(micro_rounds=MICRO_ROUNDS, engine_events=ENGINE_EVENTS):
         and storm_flat["outcomes"] == storm_legacy["outcomes"]
     )
     engine = _engine_churn(engine_events)
+    metrics_overhead = _measure_metrics_overhead(disabled=storm_flat)
 
     return {
         "generated_by": "benchmarks/bench_simcore.py",
@@ -392,6 +430,7 @@ def collect(micro_rounds=MICRO_ROUNDS, engine_events=ENGINE_EVENTS):
             "sim_time_us": storm_flat["sim_time_us"],
             "identical_trajectory": identical,
         },
+        "metrics_overhead": metrics_overhead,
         "engine": engine,
     }
 
@@ -421,6 +460,15 @@ def test_simcore_fastpaths(benchmark):
     assert payload["engine"]["timers_reused"] > 0
     assert payload["engine"]["compactions"] >= 1
 
+    overhead = payload["metrics_overhead"]
+    assert overhead["identical_trajectory"], (
+        "enabling metrics changed the simulated trajectory"
+    )
+    assert overhead["overhead_ratio"] <= 1.15, (
+        f"enabled metrics cost {overhead['overhead_ratio']:.2f}x "
+        f"on the storm (budget: 1.15x)"
+    )
+
 
 @pytest.mark.smoke
 def test_smoke_precopy_scan_speedup():
@@ -439,6 +487,25 @@ def test_smoke_precopy_scan_speedup():
             f"pre-copy pages/sec regressed >2x: {moved / flat_s:.0f} "
             f"vs recorded {floor * 2:.0f}"
         )
+
+
+@pytest.mark.smoke
+def test_smoke_metrics_disabled_is_free():
+    """Quick CI check: with the registry left disabled (the default),
+    the instrumented storm still clears the recorded events/sec floor --
+    i.e. the dormant instrumentation shows no measurable slowdown."""
+    run = _run_storm(AddressSpace)
+    baseline = _load_baseline()
+    if baseline:
+        floor = baseline["migration_storm"]["flat_events_per_sec"] / 2
+        assert run["events_per_sec"] >= floor, (
+            f"disabled-metrics storm regressed >2x: {run['events_per_sec']} "
+            f"events/sec vs recorded {floor * 2:.0f}"
+        )
+    # Enabling metrics must not change the simulated trajectory either.
+    enabled = _run_storm(AddressSpace, instrument=_enable_metrics)
+    assert (enabled["sim_time_us"], enabled["events"], enabled["outcomes"]) \
+        == (run["sim_time_us"], run["events"], run["outcomes"])
 
 
 @pytest.mark.smoke
@@ -464,7 +531,9 @@ def main():
     micro, storm = payload["precopy_microbench"], payload["migration_storm"]
     print(f"\npre-copy scan speedup: {micro['speedup']}x "
           f"(target >= 5x)  storm speedup: {storm['speedup']}x "
-          f"(target >= 2x)", file=sys.stderr)
+          f"(target >= 2x)  metrics overhead: "
+          f"{payload['metrics_overhead']['overhead_ratio']}x "
+          f"(budget <= 1.15x)", file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -1,9 +1,12 @@
-"""Command-line entry point: ``python -m repro [demo|migrate|info]``.
+"""Command-line entry point: ``python -m repro [demo|migrate|trace|info]``.
 
 * ``demo``    -- the quickstart scenario: remote execution plus a
   ``migrateprog`` preemption, narrated (default).
 * ``migrate`` -- one instrumented mid-run migration with the pre-copy
   round/residual/freeze breakdown the paper reports.
+* ``trace``   -- the same migration with full observability on: emits a
+  Chrome/Perfetto timeline JSON, the metrics table, and the simulator's
+  wall-clock self-profile.
 * ``info``    -- the calibrated hardware model and package layout.
 """
 
@@ -39,7 +42,12 @@ def cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_migrate(args: argparse.Namespace) -> int:
+def _migrate_scenario(program: str, seed: int, setup=None):
+    """The instrumented-migration scenario shared by ``migrate`` and
+    ``trace``: run ``program`` remotely on ws1, then migrate it off
+    mid-run.  ``setup(cluster)`` runs right after the cluster is built --
+    before any traffic -- so enabling tracing/metrics there captures the
+    whole run.  Returns ``(cluster, stats)``."""
     from repro.cluster import build_cluster
     from repro.execution import exec_program
     from repro.kernel.process import Priority
@@ -47,12 +55,14 @@ def cmd_migrate(args: argparse.Namespace) -> int:
     from repro.workloads import standard_registry
 
     cluster = build_cluster(
-        n_workstations=3, registry=standard_registry(scale=3.0), seed=args.seed
+        n_workstations=3, registry=standard_registry(scale=3.0), seed=seed
     )
+    if setup is not None:
+        setup(cluster)
     holder = {}
 
     def session(ctx):
-        pid, pm = yield from exec_program(ctx, args.program, where="ws1")
+        pid, pm = yield from exec_program(ctx, program, where="ws1")
         holder["pid"] = pid
 
     cluster.spawn_session(cluster.workstations[0], session)
@@ -73,7 +83,11 @@ def cmd_migrate(args: argparse.Namespace) -> int:
     )
     while not results and cluster.sim.peek() is not None:
         cluster.sim.run(until_us=cluster.sim.now + 100_000)
-    stats = results[0]
+    return cluster, results[0]
+
+
+def cmd_migrate(args: argparse.Namespace) -> int:
+    cluster, stats = _migrate_scenario(args.program, args.seed)
     print(f"migrating a running {args.program!r} off ws1:")
     for r in stats.rounds:
         print(f"  pre-copy round {r.round_index}: {r.pages} pages "
@@ -85,6 +99,39 @@ def cmd_migrate(args: argparse.Namespace) -> int:
     print(f"  total: {stats.total_us / 1000:.0f} ms -> {stats.dest_host}")
     print(f"  outcome: {stats.summary()}")
     return 0 if stats.success else 1
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs import SelfProfiler, export_timeline
+
+    state = {}
+
+    def setup(cluster):
+        sim = cluster.sim
+        sim.trace.enable("*")
+        sim.metrics.enable()
+        state["profiler"] = SelfProfiler(sim)
+
+    cluster, stats = _migrate_scenario(args.program, args.seed, setup)
+    sim = cluster.sim
+    export_timeline(sim.trace, out=args.out, metrics=sim.metrics)
+
+    spans = sim.trace.find_spans("migration", "freeze")
+    freeze_dur = spans[0].duration_us if spans else None
+    n_events = len(sim.trace.spans) + len(sim.trace.records)
+    print(f"traced migration of {args.program!r}: {stats.summary()}")
+    print(f"timeline: {args.out} ({n_events} trace events; open in "
+          "https://ui.perfetto.dev or chrome://tracing)")
+    match = freeze_dur is not None and freeze_dur == stats.freeze_us
+    print(f"freeze span: {freeze_dur} us {'==' if match else '!='} "
+          f"stats.freeze_us {stats.freeze_us} us")
+    print()
+    print(sim.metrics.render())
+    print()
+    print(state["profiler"].render())
+    # Fail (for CI) unless the migration succeeded AND the exported
+    # freeze span agrees exactly with the reported freeze time.
+    return 0 if stats.success and match else 1
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -123,12 +170,22 @@ def main(argv=None) -> int:
                          choices=["tex", "parser", "optimizer", "assembler",
                                   "preprocessor", "linking_loader", "longsim"])
     migrate.add_argument("--seed", type=int, default=0)
+    trace = sub.add_parser(
+        "trace", help="migration with timeline/metrics/profile export"
+    )
+    trace.add_argument("--program", default="tex",
+                       choices=["tex", "parser", "optimizer", "assembler",
+                                "preprocessor", "linking_loader", "longsim"])
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--out", default="timeline.json",
+                       help="Chrome trace_event JSON output path")
     sub.add_parser("info", help="calibrated model summary")
     args = parser.parse_args(argv)
     command = args.command or "demo"
     if command == "demo" and not hasattr(args, "workstations"):
         args.workstations, args.seed = 4, 42
-    handler = {"demo": cmd_demo, "migrate": cmd_migrate, "info": cmd_info}[command]
+    handler = {"demo": cmd_demo, "migrate": cmd_migrate, "trace": cmd_trace,
+               "info": cmd_info}[command]
     return handler(args)
 
 

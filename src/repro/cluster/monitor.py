@@ -80,3 +80,12 @@ class ClusterMonitor:
     def total_packets(self) -> int:
         """Packets transmitted on the cluster Ethernet so far."""
         return self.cluster.net.packets_sent
+
+    def metrics(self) -> Dict:
+        """Snapshot of the cluster's unified metrics registry (per-host
+        series plus cluster aggregates); see :mod:`repro.obs.metrics`."""
+        return self.cluster.sim.metrics.snapshot()
+
+    def render_metrics(self) -> str:
+        """The registry as a human-readable table."""
+        return self.cluster.sim.metrics.render()

@@ -52,6 +52,12 @@ class CopyEngine:
         self.sim = transport.sim
         self.model = transport.model
         self.nic = transport.nic
+        # Pages/bytes this host pushed out via copy ops (repro.obs).
+        m = self.sim.metrics
+        self.metrics = m
+        host = transport.kernel.name
+        self._m_pages = m.counter("ipc.copy_pages", host)
+        self._m_bytes = m.counter("ipc.copy_bytes", host)
         #: In-progress inbound copies: (src, seq) -> buffered snapshots.
         self.inbound: Dict[Tuple[Pid, int], list] = {}
         #: CopyFrom requests we served: (src, seq) -> source pid, kept for
@@ -84,6 +90,9 @@ class CopyEngine:
             return
         page = pages[i]
         snapshot = PageSnapshot(page.index, page.version)
+        if self.metrics.active:
+            self._m_pages.inc()
+            self._m_bytes.inc(PAGE_SIZE)
         self.nic.send(Packet(
             self.nic.address, address, "copy-data",
             {"src": record.src_pid, "dst": record.dst, "seq": record.seq,
@@ -181,6 +190,9 @@ class CopyEngine:
             return
         cost = self.model.local_copy_us_per_page * len(record.pages)
         snapshots = _snapshot_pages(record.pages)
+        if self.metrics.active:
+            self._m_pages.inc(len(snapshots))
+            self._m_bytes.inc(PAGE_SIZE * len(snapshots))
 
         def apply():
             target = self.find_copy_target(record.dst)
@@ -224,6 +236,9 @@ class CopyEngine:
 
     def _stream_reply(self, src, seq, snapshots, address, i) -> None:
         if i < len(snapshots):
+            if self.metrics.active:
+                self._m_pages.inc()
+                self._m_bytes.inc(PAGE_SIZE)
             self.nic.send(Packet(
                 self.nic.address, address, "copyfrom-data",
                 {"src": src, "seq": seq, "snapshot": snapshots[i]},

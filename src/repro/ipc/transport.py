@@ -60,7 +60,7 @@ class ClientRecord:
         "pcb", "src_pid", "dst", "seq", "message", "op", "pages", "indexes",
         "page_indexes", "completed", "retries_left", "used_rebind_fallback",
         "timer", "is_group", "first_reply_at", "extra_replies",
-        "received_snapshots", "issued_at",
+        "received_snapshots", "issued_at", "span_id",
     )
 
     def __init__(self, pcb: Pcb, dst: Pid, message: Optional[Message], op: str):
@@ -84,6 +84,9 @@ class ClientRecord:
         self.extra_replies: List[Tuple[Pid, Message]] = []
         self.received_snapshots: List[PageSnapshot] = []
         self.issued_at = 0
+        #: Causal span covering the whole op (0 = tracing off); migrates
+        #: with the record so the span closes at the destination host.
+        self.span_id = 0
 
     @property
     def key(self) -> Tuple[Pid, int]:
@@ -162,6 +165,20 @@ class Transport:
         self.group_lookups = 0
         self.frozen_checks = 0
         self.rebinds = 0
+        # ---- unified-observability instruments (repro.obs); recorded
+        # only while sim.metrics is enabled, mirroring the ints above.
+        m = sim.metrics
+        self.metrics = m
+        host = kernel.name
+        self._m_sends = m.counter("ipc.sends", host)
+        self._m_retrans = m.counter("ipc.retransmissions", host)
+        self._m_reply_pendings = m.counter("ipc.reply_pendings", host)
+        self._m_naks = m.counter("ipc.naks", host)
+        self._m_rebinds = m.counter("ipc.rebinds", host)
+        self._m_latency = {
+            op: m.histogram(f"ipc.{op}_latency_us", host)
+            for op in ("send", "copyto", "copyfrom")
+        }
 
     # --------------------------------------------------- pending-reply FIFO
 
@@ -216,6 +233,14 @@ class Transport:
 
     def _begin_client_op(self, record: ClientRecord) -> None:
         self.sends += 1
+        if self.metrics.active:
+            self._m_sends.inc()
+        trace = self.sim.trace
+        if trace.active:
+            record.span_id = trace.begin_span(
+                "ipc", record.op, host=self.kernel.name,
+                src=str(record.src_pid), dst=str(record.dst),
+            )
         if record.pcb.logical_host is not None:
             record.pcb.logical_host.contacted_pids.add(record.dst)
         record.issued_at = self.sim.now
@@ -311,6 +336,8 @@ class Transport:
                 record.retries_left = self.model.max_retransmissions
                 self.cache.invalidate(record.dst.logical_host_id)
                 self.rebinds += 1
+                if self.metrics.active:
+                    self._m_rebinds.inc()
                 self._broadcast_ghq(record.dst.logical_host_id)
             else:
                 self._fail_client(record, self._timeout_error(record))
@@ -318,6 +345,8 @@ class Transport:
         else:
             record.retries_left -= 1
             self.retransmissions += 1
+            if self.metrics.active:
+                self._m_retrans.inc()
             self._transmit(record)
         record.timer = self.sim.schedule(
             self._record_interval(record), self._retransmit, record
@@ -336,6 +365,9 @@ class Transport:
         if record.completed:
             return
         record.completed = True
+        if record.span_id:
+            self.sim.trace.end_span(record.span_id, outcome="failed",
+                                    error=type(error).__name__)
         if record.timer is not None:
             record.timer.cancel()
         self._clients.pop(record.key, None)
@@ -348,6 +380,10 @@ class Transport:
         if record.completed:
             return
         record.completed = True
+        if self.metrics.active:
+            self._m_latency[record.op].observe(self.sim.now - record.issued_at)
+        if record.span_id:
+            self.sim.trace.end_span(record.span_id, outcome="ok")
         if record.timer is not None:
             record.timer.cancel()
         self._clients.pop(record.key, None)
@@ -359,6 +395,8 @@ class Transport:
     def cancel_client(self, record: ClientRecord) -> None:
         """Abandon an outstanding op (process destroyed)."""
         record.completed = True
+        if record.span_id:
+            self.sim.trace.end_span(record.span_id, outcome="cancelled")
         if record.timer is not None:
             record.timer.cancel()
         self._clients.pop(record.key, None)
@@ -506,6 +544,8 @@ class Transport:
 
     def _send_reply_pending(self, record: ServerRecord) -> None:
         self.reply_pendings_sent += 1
+        if self.metrics.active:
+            self._m_reply_pendings.inc()
         if record.origin_addr is None:
             client = self._clients.get((record.sender, record.seq))
             if client is not None and not client.completed:
@@ -522,6 +562,8 @@ class Transport:
 
     def _send_nak(self, kind: str, src: Pid, seq: int, dst: Pid, origin_addr) -> None:
         self.naks_sent += 1
+        if self.metrics.active:
+            self._m_naks.inc()
         if origin_addr is None:
             client = self._clients.get((src, seq))
             if client is not None and not client.completed:
@@ -561,6 +603,8 @@ class Transport:
         lhid = record.dst.logical_host_id
         self.cache.invalidate(lhid)
         self.rebinds += 1
+        if self.metrics.active:
+            self._m_rebinds.inc()
         self._broadcast_ghq(lhid)
 
     def _on_nak_dead(self, packet: Packet) -> None:
@@ -669,6 +713,10 @@ class Transport:
         """First reply to a group send completes it, but the record stays
         registered briefly to absorb (and count) later replies."""
         record.completed = True
+        if self.metrics.active:
+            self._m_latency[record.op].observe(self.sim.now - record.issued_at)
+        if record.span_id:
+            self.sim.trace.end_span(record.span_id, outcome="ok")
         if record.timer is not None:
             record.timer.cancel()
         if record.pcb.client_record is record:

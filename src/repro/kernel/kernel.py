@@ -80,6 +80,16 @@ class Kernel:
         #: Programs that crashed (body raised), for post-mortem tests.
         self.faulted: List[Pcb] = []
         self.alive = True
+        # Unified-observability instruments (see repro.obs): recorded
+        # only while sim.metrics is enabled.
+        m = sim.metrics
+        self.metrics = m
+        self._m_created = m.counter("kernel.processes_created", self.name)
+        self._m_destroyed = m.counter("kernel.processes_destroyed", self.name)
+        self._m_faults = m.counter("kernel.process_faults", self.name)
+        self._m_freezes = m.counter("kernel.freezes", self.name)
+        self._m_unfreezes = m.counter("kernel.unfreezes", self.name)
+        self._m_memory = m.gauge("kernel.memory_used_bytes", self.name)
 
     # ------------------------------------------------------------- lookups
 
@@ -191,6 +201,8 @@ class Kernel:
         pcb = Pcb(pid, lh, space, body, priority, name)
         pcb.done_event = self.sim.event(f"done:{pcb.name}")
         lh.add_process(pcb)
+        if self.metrics.active:
+            self._m_created.inc()
         if start:
             self.scheduler.make_ready(pcb)
         return pcb
@@ -216,14 +228,20 @@ class Kernel:
                 self.free_space(lh, pcb.space)
         if pcb.done_event is not None and not pcb.done_event.triggered:
             pcb.done_event.trigger(exit_code)
+        if self.metrics.active:
+            self._m_destroyed.inc()
         if self.sim.trace.active:
-            self.sim.trace.record("kernel", "destroy", pid=str(pcb.pid), name=pcb.name)
+            self.sim.trace.record("kernel", "destroy", pid=str(pcb.pid), name=pcb.name,
+                                  host=self.name)
 
     def on_process_fault(self, pcb: Pcb, exc: Exception) -> None:
         """A program body raised: the program crashed."""
         self.faulted.append(pcb)
+        if self.metrics.active:
+            self._m_faults.inc()
         if self.sim.trace.active:
-            self.sim.trace.record("kernel", "fault", name=pcb.name, error=repr(exc))
+            self.sim.trace.record("kernel", "fault", name=pcb.name, error=repr(exc),
+                                  host=self.name)
         self.destroy_process(pcb, exit_code=-1)
         if self.sim.strict:
             raise KernelError(f"program {pcb.name} crashed: {exc!r}") from exc
@@ -292,6 +310,8 @@ class Kernel:
             )
         space = AddressSpace(size_bytes, code_bytes, data_bytes, name)
         self.memory_used += size_bytes
+        if self.metrics.active:
+            self._m_memory.set(self.memory_used)
         lh.add_space(space)
         return space
 
@@ -314,8 +334,10 @@ class Kernel:
             raise KernelError(f"{lh!r} is already frozen")
         lh.frozen = True
         self.scheduler.on_freeze(lh)
+        if self.metrics.active:
+            self._m_freezes.inc()
         if self.sim.trace.active:
-            self.sim.trace.record("kernel", "freeze", lhid=lh.lhid)
+            self.sim.trace.record("kernel", "freeze", lhid=lh.lhid, host=self.name)
 
     def unfreeze_logical_host(self, lh: LogicalHost) -> None:
         """Resume a frozen logical host (after migration failure, or at
@@ -326,8 +348,10 @@ class Kernel:
         self.scheduler.on_unfreeze(lh)
         for pcb in lh.live_processes():
             self.ipc.deliver_queued(pcb)
+        if self.metrics.active:
+            self._m_unfreezes.inc()
         if self.sim.trace.active:
-            self.sim.trace.record("kernel", "unfreeze", lhid=lh.lhid)
+            self.sim.trace.record("kernel", "unfreeze", lhid=lh.lhid, host=self.name)
 
     # ---------------------------------------------------------------- load
 

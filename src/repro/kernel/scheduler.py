@@ -23,6 +23,7 @@ from typing import Dict, Optional
 from repro.errors import KernelError
 from repro.kernel.process import (
     Compute,
+    Priority,
     CopyFromInstr,
     CopyToInstr,
     Decline,
@@ -57,6 +58,28 @@ class Scheduler:
         self._dispatch_pending = False
         #: Total CPU-busy microseconds, for load reporting.
         self.busy_us = 0
+        # Unified-observability instruments (recorded only while
+        # sim.metrics is enabled; disabled cost is one load + branch).
+        m = sim.metrics
+        self.metrics = m
+        self._host = host = kernel.name
+        self._m_switches = m.counter("sched.context_switches", host)
+        self._m_switch_us = m.counter("sched.context_switch_us", host)
+        self._m_runq = m.gauge("sched.runq_depth", host)
+        self._m_cpu = {
+            p: m.counter(f"sched.cpu_us.{p.name.lower()}", host)
+            for p in Priority
+        }
+        self._m_ops: Dict[type, object] = {}
+
+    def _cpu_counter(self, priority):
+        """Per-priority CPU-time counter (handles ad-hoc int priorities)."""
+        counter = self._m_cpu.get(priority)
+        if counter is None:
+            counter = self._m_cpu[priority] = self.metrics.counter(
+                f"sched.cpu_us.p{int(priority)}", self._host
+            )
+        return counter
 
     # --------------------------------------------------------------- queues
 
@@ -181,6 +204,8 @@ class Scheduler:
             pcb.remaining_us = max(0, pcb.remaining_us - elapsed)
             pcb.cpu_used_us += elapsed
             self.busy_us += elapsed
+            if self.metrics.active:
+                self._cpu_counter(pcb.priority).inc(elapsed)
 
     def _stop_running(self) -> None:
         if self._completion_timer is not None:
@@ -251,6 +276,10 @@ class Scheduler:
         pcb.state = ProcessState.RUNNING
         switch = self.model.context_switch_us
         self.busy_us += switch
+        if self.metrics.active:
+            self._m_switches.inc()
+            self._m_switch_us.inc(switch)
+            self._m_runq.set(self.ready_count())
         self.sim.schedule(switch, self._execute, pcb)
 
     def _execute(self, pcb: Pcb) -> None:
@@ -297,6 +326,8 @@ class Scheduler:
         pcb.remaining_us -= chunk
         pcb.cpu_used_us += chunk
         self.busy_us += chunk
+        if self.metrics.active:
+            self._cpu_counter(pcb.priority).inc(chunk)
         if pcb.remaining_us > 0:
             # Slice expired with work left: rotate among equals.
             self.running = None
@@ -313,6 +344,15 @@ class Scheduler:
         charge = INSTRUCTION_OVERHEAD_US
         pcb.cpu_used_us += charge
         self.busy_us += charge
+        if self.metrics.active:
+            self._cpu_counter(pcb.priority).inc(charge)
+            cls = type(instruction)
+            counter = self._m_ops.get(cls)
+            if counter is None:
+                counter = self._m_ops[cls] = self.metrics.counter(
+                    f"kernel.ops.{cls.__name__.lower()}", self._host
+                )
+            counter.inc()
 
         if isinstance(instruction, Compute):
             pcb.remaining_us = instruction.us

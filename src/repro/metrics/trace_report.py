@@ -34,12 +34,16 @@ class TrafficReport:
         since_us: int = 0,
         until_us: Optional[int] = None,
     ) -> "TrafficReport":
-        """Build a report from a tracer's ``net``/``transmit`` records."""
+        """Build a report from a tracer's ``net``/``transmit`` records.
+
+        The window is half-open, ``[since_us, until_us)``: a record at
+        exactly ``until_us`` is excluded, so splitting a run at time T
+        into ``[0, T)`` and ``[T, end)`` counts every packet once."""
         report = cls()
         for rec in tracer.filter(category="net", message="transmit"):
             if rec.time < since_us:
                 continue
-            if until_us is not None and rec.time > until_us:
+            if until_us is not None and rec.time >= until_us:
                 continue
             report.by_kind[rec.get("kind", "?")] += 1
             report.by_path[(rec.get("src", "?"), rec.get("dst", "?"))] += 1

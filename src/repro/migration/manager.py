@@ -60,10 +60,22 @@ def run_migration(
     stats.n_spaces = len(lh.spaces)
 
     for attempt in range(max_attempts):
-        outcome = yield from _attempt(kernel, lh, policy, dest_pm, stats, sim)
+        trace = sim.trace
+        root_span = 0
+        if trace.active:
+            root_span = trace.begin_span(
+                "migration", "migrate", host=kernel.name,
+                lhid=lh.lhid, attempt=attempt,
+            )
+        outcome = yield from _attempt(
+            kernel, lh, policy, dest_pm, stats, sim, root_span
+        )
+        if root_span:
+            trace.end_span(root_span, outcome=outcome or "ok")
         if outcome is None:
             stats.success = True
             stats.total_us = sim.now - stats.started_at
+            _record_metrics(kernel, stats)
             return stats
         stats.error = outcome
         if outcome == "no candidate host":
@@ -73,7 +85,26 @@ def run_migration(
         if kernel.hosts_lhid(lh.lhid):
             kernel.destroy_logical_host(lh)
         stats.error = f"{stats.error} (program destroyed, -n)"
+    _record_metrics(kernel, stats)
     return stats
+
+
+def _record_metrics(kernel, stats: MigrationStats) -> None:
+    """Fold one finished migration into the unified registry."""
+    m = kernel.sim.metrics
+    if not m.active:
+        return
+    host = kernel.name
+    m.counter("mig.migrations", host).inc()
+    if not stats.success:
+        m.counter("mig.failures", host).inc()
+    m.counter("mig.rounds", host).inc(stats.precopy_rounds)
+    m.counter("mig.precopy_us", host).inc(
+        sum(r.duration_us for r in stats.rounds)
+    )
+    m.counter("mig.freeze_us", host).inc(stats.freeze_us)
+    m.counter("mig.residual_bytes", host).inc(stats.residual_bytes)
+    m.histogram("mig.total_us", host).observe(stats.total_us)
 
 
 def _lh_alive(kernel, lh) -> bool:
@@ -93,9 +124,10 @@ def _cleanup_shell(temp_lhid):
         pass  # destination gone too; nothing to clean
 
 
-def _attempt(kernel, lh, policy, dest_pm, stats, sim):
+def _attempt(kernel, lh, policy, dest_pm, stats, sim, root_span=0):
     """One migration attempt; returns None on success, error text on
     failure (with the logical host left running at the source)."""
+    trace = sim.trace
     try:
         spaces_desc = space_descriptors(lh)
         procs_desc = process_descriptors(lh)
@@ -133,17 +165,29 @@ def _attempt(kernel, lh, policy, dest_pm, stats, sim):
     # -- step 3: pre-copy ------------------------------------------------------
     residuals: Dict[int, List] = {}
     spaces = list(lh.spaces)  # capture: the list empties if the victim exits
+    precopy_span = 0
+    if trace.active:
+        precopy_span = trace.begin_span(
+            "migration", "precopy", parent=root_span,
+            host=kernel.name, lhid=lh.lhid,
+        )
     try:
         for ordinal, space in enumerate(spaces):
             if not _lh_alive(kernel, lh):
+                if precopy_span:
+                    trace.end_span(precopy_span, outcome="aborted")
                 yield from _cleanup_shell(temp_lhid)
                 return "program exited during migration"
             target = Pid(temp_lhid, reps[ordinal])
             residuals[ordinal] = yield from precopy_space(
-                space, target, policy, stats, sim
+                space, target, policy, stats, sim, parent_span=precopy_span
             )
     except (CopyFailedError, SendTimeoutError) as exc:
+        if precopy_span:
+            trace.end_span(precopy_span, outcome="failed")
         return f"pre-copy failed: {exc}"
+    if precopy_span:
+        trace.end_span(precopy_span, rounds=stats.precopy_rounds)
 
     # -- step 4: freeze and complete the copy ---------------------------------
     if not _lh_alive(kernel, lh):
@@ -151,11 +195,28 @@ def _attempt(kernel, lh, policy, dest_pm, stats, sim):
         return "program exited during migration"
     kernel.freeze_logical_host(lh)
     stats.freeze_started_at = sim.now
+    # The freeze span starts the instant freeze_started_at is taken and
+    # ends exactly where freeze_us is accumulated, so its duration equals
+    # stats.freeze_us for a single-attempt migration.
+    freeze_span = 0
+    if trace.active:
+        freeze_span = trace.begin_span(
+            "migration", "freeze", parent=root_span,
+            host=kernel.name, lhid=lh.lhid,
+        )
     bundle = None
     try:
         for ordinal, space in enumerate(spaces):
             target = Pid(temp_lhid, reps[ordinal])
-            yield from final_copy(space, target, residuals[ordinal], stats)
+            residual_span = 0
+            if trace.active:
+                residual_span = trace.begin_span(
+                    "migration", "residual-copy", parent=freeze_span,
+                    host=kernel.name, lhid=lh.lhid, space=space.name,
+                )
+            copied = yield from final_copy(space, target, residuals[ordinal], stats)
+            if residual_span:
+                trace.end_span(residual_span, pages=copied)
         bundle = extract_bundle(kernel, lh)
         install_reply = yield Send(
             local_kernel_server_group(temp_lhid),
@@ -174,15 +235,27 @@ def _attempt(kernel, lh, policy, dest_pm, stats, sim):
                     record.pcb.client_record = record
             kernel.ipc.adopt_from_migration(bundle["transport"])
         stats.freeze_us += sim.now - stats.freeze_started_at
+        if freeze_span:
+            trace.end_span(freeze_span, outcome="failed")
         kernel.unfreeze_logical_host(lh)
         reprocess_deferred(kernel, lh)
         return f"transfer failed: {exc}"
 
     stats.freeze_us += sim.now - stats.freeze_started_at
+    if freeze_span:
+        trace.end_span(freeze_span, freeze_us=stats.freeze_us)
 
     # -- step 5: delete the old copy; references rebind lazily ----------------
+    rebind_span = 0
+    if trace.active:
+        rebind_span = trace.begin_span(
+            "migration", "rebind", parent=root_span,
+            host=kernel.name, lhid=lh.lhid,
+        )
     if kernel.logical_hosts.get(lh.lhid) is lh:
         kernel.destroy_logical_host(lh, migrated=True)
+    if rebind_span:
+        trace.end_span(rebind_span)
     if sim.trace.active:
         sim.trace.record(
             "migration", "complete", lhid=lh.lhid, freeze_us=stats.freeze_us,

@@ -64,20 +64,32 @@ def precopy_space(
     policy: PrecopyPolicy,
     stats: MigrationStats,
     sim,
+    parent_span: int = 0,
 ):
     """Pre-copy one address space into the stub process ``target``.
 
     Returns the residual dirty pages that must be copied after the
     freeze.  (Generator: ``residual = yield from precopy_space(...)``.)
+    Each copy round becomes a child span of ``parent_span`` when tracing
+    is active.
     """
     # Round 0: the complete address space.  Clearing the dirty bits first
     # means "modified during this copy" is exactly what the next round's
     # scan returns.  On flat spaces both the clear and every later scan
     # are O(dirty) mask operations, so the simulator's own cost per round
     # tracks the pages actually recopied, not the space size.
+    trace = sim.trace
     space.collect_dirty()
     started = sim.now
+    span = 0
+    if trace.active:
+        span = trace.begin_span(
+            "migration", "precopy-round", parent=parent_span,
+            space=space.name, round=0, pages=len(space.pages),
+        )
     yield CopyToInstr(target, space.pages)
+    if span:
+        trace.end_span(span)
     stats.add_round(len(space.pages), sim.now - started)
     previous = len(space.pages)
 
@@ -88,7 +100,15 @@ def precopy_space(
         if policy.should_stop(len(dirty), previous, len(stats.rounds)):
             return dirty
         started = sim.now
+        span = 0
+        if trace.active:
+            span = trace.begin_span(
+                "migration", "precopy-round", parent=parent_span,
+                space=space.name, round=len(stats.rounds), pages=len(dirty),
+            )
         yield CopyToInstr(target, dirty)
+        if span:
+            trace.end_span(span)
         stats.add_round(len(dirty), sim.now - started)
         previous = len(dirty)
 

@@ -20,6 +20,7 @@ from repro.kernel.ids import PROGRAM_MANAGER_GROUP, Pid, local_kernel_server_gro
 from repro.kernel.kernel_server import reprocess_deferred
 from repro.kernel.logical_host import LogicalHost
 from repro.kernel.process import Delay, Send
+from repro.migration.manager import _record_metrics
 from repro.migration.precopy import PrecopyPolicy
 from repro.migration.stats import MigrationStats
 from repro.migration.transfer import (
@@ -42,19 +43,31 @@ def run_vm_flush_migration(
     stats = MigrationStats(lhid=lh.lhid, started_at=sim.now)
     stats.n_processes = len(lh.live_processes())
     stats.n_spaces = len(lh.spaces)
+    trace = sim.trace
+    root_span = 0
+    if trace.active:
+        root_span = trace.begin_span(
+            "migration", "vm-flush-migrate", host=kernel.name, lhid=lh.lhid,
+        )
+
+    def finish(outcome):
+        if root_span:
+            trace.end_span(root_span, outcome=outcome)
+        _record_metrics(kernel, stats)
+        return stats
 
     pagers = {}
     for ordinal, space in enumerate(lh.spaces):
         if space.pager is None:
             stats.error = f"space {space.name} is not demand-paged"
-            return stats
+            return finish("failed")
         pagers[ordinal] = space.pager
     try:
         spaces_desc = space_descriptors(lh)
         procs_desc = process_descriptors(lh)
     except NotMigratableError as exc:
         stats.error = str(exc)
-        return stats
+        return finish("failed")
 
     # -- step 1: locate a willing workstation --------------------------------
     if dest_pm is None:
@@ -65,7 +78,7 @@ def run_vm_flush_migration(
             )
         except SendTimeoutError:
             stats.error = "no candidate host"
-            return stats
+            return finish("failed")
         dest_pm = offer["pm"]
         stats.dest_host = offer.get("host")
 
@@ -77,10 +90,10 @@ def run_vm_flush_migration(
         )
     except SendTimeoutError:
         stats.error = "destination unreachable during shell creation"
-        return stats
+        return finish("failed")
     if shell_reply.kind != "shell-created":
         stats.error = f"shell creation refused: {shell_reply.get('error')}"
-        return stats
+        return finish("failed")
     temp_lhid = shell_reply["temp_lhid"]
 
     def lh_alive():
@@ -98,8 +111,16 @@ def run_vm_flush_migration(
             ):
                 break
             started = sim.now
+            span = 0
+            if trace.active:
+                span = trace.begin_span(
+                    "migration", "flush-round", parent=root_span,
+                    host=kernel.name, pages=n_dirty,
+                )
             count, cost = pager.flush_dirty_resident()
             yield Delay(cost)
+            if span:
+                trace.end_span(span, flushed=count)
             stats.add_round(count, sim.now - started)
             previous = count
 
@@ -107,16 +128,30 @@ def run_vm_flush_migration(
     if not lh_alive():
         stats.error = "program exited during migration"
         stats.total_us = sim.now - stats.started_at
-        return stats
+        return finish("aborted")
     kernel.freeze_logical_host(lh)
     stats.freeze_started_at = sim.now
+    freeze_span = 0
+    if trace.active:
+        freeze_span = trace.begin_span(
+            "migration", "freeze", parent=root_span,
+            host=kernel.name, lhid=lh.lhid,
+        )
     bundle = None
     try:
         for pager in pagers.values():
+            span = 0
+            if trace.active:
+                span = trace.begin_span(
+                    "migration", "residual-flush", parent=freeze_span,
+                    host=kernel.name, pager=pager.name,
+                )
             count, cost = pager.flush_all_dirty()
             if count:
                 yield Delay(cost)
                 stats.residual_pages += count
+            if span:
+                trace.end_span(span, flushed=count)
         bundle = extract_bundle(kernel, lh)
         bundle["pagers"] = pagers
         install_reply = yield Send(
@@ -134,13 +169,17 @@ def run_vm_flush_migration(
                     record.pcb.client_record = record
             kernel.ipc.adopt_from_migration(bundle["transport"])
         stats.freeze_us += sim.now - stats.freeze_started_at
+        if freeze_span:
+            trace.end_span(freeze_span, outcome="failed")
         kernel.unfreeze_logical_host(lh)
         reprocess_deferred(kernel, lh)
         stats.error = f"transfer failed: {exc}"
         stats.total_us = sim.now - stats.started_at
-        return stats
+        return finish("failed")
 
     stats.freeze_us += sim.now - stats.freeze_started_at
+    if freeze_span:
+        trace.end_span(freeze_span, freeze_us=stats.freeze_us)
 
     # -- step 5: delete the old copy ------------------------------------------
     if kernel.logical_hosts.get(lh.lhid) is lh:
@@ -152,4 +191,4 @@ def run_vm_flush_migration(
             "migration", "vm-flush-complete", lhid=lh.lhid,
             freeze_us=stats.freeze_us, flushes=sum(r.pages for r in stats.rounds),
         )
-    return stats
+    return finish("ok")

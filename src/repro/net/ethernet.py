@@ -40,6 +40,12 @@ class Ethernet:
         self.packets_sent = 0
         self.packets_dropped = 0
         self.bytes_sent = 0
+        # Per-source instruments, labelled by str(address) -- the net
+        # layer has no workstation names (repro.obs metric catalog).
+        self.metrics = sim.metrics
+        self._m_tx: Dict[HostAddress, tuple] = {}
+        self._m_drops: Dict[HostAddress, object] = {}
+        self._m_bus_wait = sim.metrics.counter("net.bus_wait_us")
 
     # ----------------------------------------------------------- attachment
 
@@ -95,6 +101,19 @@ class Ethernet:
         self._busy_until = done
         self.packets_sent += 1
         self.bytes_sent += packet.size_bytes
+        if self.metrics.active:
+            tx = self._m_tx.get(packet.src)
+            if tx is None:
+                host = str(packet.src)
+                tx = self._m_tx[packet.src] = (
+                    self.metrics.counter("net.tx_packets", host),
+                    self.metrics.counter("net.tx_bytes", host),
+                )
+            tx[0].inc()
+            tx[1].inc(packet.size_bytes)
+            if start > self.sim.now:
+                # Contention: this frame queued behind the in-flight one.
+                self._m_bus_wait.inc(start - self.sim.now)
         trace = self.sim.trace
         if trace.active:
             trace.record(
@@ -114,6 +133,13 @@ class Ethernet:
         for nic in targets:
             if self.loss.drops(self.sim, packet):
                 self.packets_dropped += 1
+                if self.metrics.active:
+                    drop = self._m_drops.get(nic.address)
+                    if drop is None:
+                        drop = self._m_drops[nic.address] = self.metrics.counter(
+                            "net.drops", str(nic.address)
+                        )
+                    drop.inc()
                 if trace.active:
                     trace.record(
                         "net", "drop", packet_id=packet.packet_id, dst=str(nic.address),

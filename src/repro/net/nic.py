@@ -23,6 +23,10 @@ class Nic:
         self._handler: Optional[Callable[[Packet], None]] = None
         self.received = 0
         self.dropped_no_handler = 0
+        m = sim.metrics
+        self.metrics = m
+        self._m_rx = m.counter("net.rx_packets", str(address))
+        self._m_rx_dropped = m.counter("net.rx_dropped", str(address))
 
     def install_handler(self, handler: Callable[[Packet], None]) -> None:
         """Install the packet-arrival callback (the kernel's entry point)."""
@@ -43,6 +47,10 @@ class Nic:
         """Called by the segment when a frame arrives for this NIC."""
         if self._handler is None:
             self.dropped_no_handler += 1
+            if self.metrics.active:
+                self._m_rx_dropped.inc()
             return
         self.received += 1
+        if self.metrics.active:
+            self._m_rx.inc()
         self._handler(packet)

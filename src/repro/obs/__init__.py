@@ -1,0 +1,40 @@
+"""Unified observability: metrics registry, span tracing, timeline export.
+
+Three pillars, all honoring the simulator's zero-cost-when-off
+discipline (one attribute load and one branch on a disabled path):
+
+* :class:`MetricsRegistry` -- typed counters, gauges and fixed-bucket
+  histograms, attached to each :class:`~repro.sim.engine.Simulator` as
+  ``sim.metrics``.  Instrumented per host and aggregatable across the
+  cluster; snapshot-able mid-run; exportable as JSON or a text table.
+* Span tracing lives in :class:`~repro.sim.trace.Tracer` (``begin_span``
+  / ``end_span``): causal trees over simulated time, e.g. a migration's
+  precopy -> freeze -> residual chain.
+* :mod:`repro.obs.timeline` serializes spans and instant events to
+  Chrome/Perfetto ``trace_event`` JSON, and
+  :class:`~repro.obs.profiler.SelfProfiler` reports the simulator's own
+  wall-clock overhead per event category.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS_US,
+    MetricsRegistry,
+    SIZE_BUCKETS_BYTES,
+)
+from repro.obs.profiler import SelfProfiler
+from repro.obs.timeline import chrome_trace_events, export_timeline
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS_US",
+    "SIZE_BUCKETS_BYTES",
+    "MetricsRegistry",
+    "SelfProfiler",
+    "chrome_trace_events",
+    "export_timeline",
+]

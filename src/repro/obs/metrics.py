@@ -1,0 +1,354 @@
+"""The metrics registry: typed counters, gauges and histograms.
+
+One :class:`MetricsRegistry` is attached to each simulator as
+``sim.metrics``; every instrumented component (scheduler, transport,
+Ethernet, pager, migration manager, ...) creates its instruments once at
+construction and bumps them only when the registry is enabled.  The hot
+path is the same zero-cost pattern the tracer uses::
+
+    m = self.metrics            # cached registry reference
+    ...
+    if m.active:                # one attribute load + one branch
+        self._m_sends.inc()
+
+Instruments are keyed by ``(name, host)`` so the same logical metric
+exists once per workstation; :meth:`MetricsRegistry.aggregate` folds the
+per-host series into cluster totals.  :meth:`MetricsRegistry.snapshot`
+is safe mid-run (it only reads), and :meth:`MetricsRegistry.to_json` /
+:meth:`MetricsRegistry.render` export the same data as JSON and as a
+human-readable table.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_left
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: Default histogram buckets for simulated-microsecond latencies
+#: (upper bounds; the last bucket is open-ended).
+LATENCY_BUCKETS_US: Tuple[int, ...] = (
+    10, 100, 1_000, 10_000, 100_000, 1_000_000, 10_000_000,
+)
+
+#: Default histogram buckets for byte counts (pages to megabytes).
+SIZE_BUCKETS_BYTES: Tuple[int, ...] = (
+    2_048, 16_384, 65_536, 262_144, 1_048_576, 4_194_304,
+)
+
+
+class Counter:
+    """A monotonically increasing integer metric."""
+
+    __slots__ = ("name", "host", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, host: str = ""):
+        self.name = name
+        self.host = host
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        """Add ``n`` (callers guard on ``registry.active``)."""
+        self.value += n
+
+    def snapshot(self) -> Any:
+        return self.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}[{self.host}]={self.value}>"
+
+
+class Gauge:
+    """A point-in-time level (run-queue depth, memory in use, ...).
+
+    Tracks the last set value plus the high-water mark, which is what
+    capacity questions ("how deep did the run queue get?") need.
+    """
+
+    __slots__ = ("name", "host", "value", "max_value")
+    kind = "gauge"
+
+    def __init__(self, name: str, host: str = ""):
+        self.name = name
+        self.host = host
+        self.value = 0
+        self.max_value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+        if value > self.max_value:
+            self.max_value = value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"value": self.value, "max": self.max_value}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.name}[{self.host}]={self.value} max={self.max_value}>"
+
+
+class Histogram:
+    """A fixed-bucket histogram of observed values.
+
+    ``bounds`` are inclusive upper bounds of the first ``len(bounds)``
+    buckets; one extra open-ended bucket catches everything larger.
+    Fixed buckets keep :meth:`observe` O(log buckets) with no allocation,
+    so an enabled registry stays cheap on hot paths.
+    """
+
+    __slots__ = ("name", "host", "bounds", "counts", "count", "total",
+                 "min_value", "max_value")
+    kind = "histogram"
+
+    def __init__(self, name: str, host: str = "",
+                 bounds: Sequence[float] = LATENCY_BUCKETS_US):
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram bounds must be strictly increasing: {bounds}")
+        self.name = name
+        self.host = host
+        self.bounds = tuple(bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0
+        self.min_value: Optional[float] = None
+        self.max_value: Optional[float] = None
+
+    def observe(self, value) -> None:
+        # bisect_left finds the first inclusive upper bound >= value;
+        # values beyond the last bound land in the open-ended bucket.
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Upper bound of the bucket holding the ``q``-quantile
+        observation (None when empty; None for the open last bucket's
+        upper bound, reported as the max seen value)."""
+        if not self.count:
+            return None
+        if not 0 <= q <= 1:
+            raise ValueError(f"quantile {q} outside [0, 1]")
+        rank = q * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= rank and c:
+                if i < len(self.bounds):
+                    return self.bounds[i]
+                return self.max_value
+        return self.max_value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": round(self.mean, 3),
+            "min": self.min_value,
+            "max": self.max_value,
+            "buckets": dict(zip([*map(str, self.bounds), "+inf"], self.counts)),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.name}[{self.host}] n={self.count}>"
+
+
+class MetricsRegistry:
+    """All instruments of one simulated world, keyed by (name, host)."""
+
+    def __init__(self, sim=None):
+        self._sim = sim
+        #: True when instrumentation should record.  Hot call sites read
+        #: this attribute and branch; nothing else happens when False.
+        self.active = False
+        self._instruments: Dict[Tuple[str, str], Any] = {}
+
+    # ------------------------------------------------------------- lifecycle
+
+    def enable(self) -> None:
+        """Start recording on every instrumented path."""
+        self.active = True
+
+    def disable(self) -> None:
+        """Stop recording (instruments keep their accumulated values)."""
+        self.active = False
+
+    def reset(self) -> None:
+        """Zero every instrument in place (enabled state is unchanged).
+
+        Instrumented components cache instrument references at
+        construction, so reset must preserve object identity -- zeroing
+        the existing instruments rather than replacing them.
+        """
+        for inst in self._instruments.values():
+            if inst.kind == "counter":
+                inst.value = 0
+            elif inst.kind == "gauge":
+                inst.value = 0
+                inst.max_value = 0
+            else:
+                inst.counts = [0] * (len(inst.bounds) + 1)
+                inst.count = 0
+                inst.total = 0
+                inst.min_value = None
+                inst.max_value = None
+
+    # ----------------------------------------------------------- instruments
+
+    def _get_or_create(self, cls, name: str, host: str, **kwargs):
+        key = (name, host)
+        inst = self._instruments.get(key)
+        if inst is None:
+            inst = cls(name, host, **kwargs)
+            self._instruments[key] = inst
+        elif not isinstance(inst, cls):
+            raise TypeError(
+                f"metric {name!r}@{host!r} already registered as {inst.kind}"
+            )
+        return inst
+
+    def counter(self, name: str, host: str = "") -> Counter:
+        """Get-or-create a counter (idempotent per (name, host))."""
+        return self._get_or_create(Counter, name, host)
+
+    def gauge(self, name: str, host: str = "") -> Gauge:
+        """Get-or-create a gauge."""
+        return self._get_or_create(Gauge, name, host)
+
+    def histogram(self, name: str, host: str = "",
+                  bounds: Sequence[float] = LATENCY_BUCKETS_US) -> Histogram:
+        """Get-or-create a fixed-bucket histogram."""
+        return self._get_or_create(Histogram, name, host, bounds=bounds)
+
+    def get(self, name: str, host: str = ""):
+        """An existing instrument, or None."""
+        return self._instruments.get((name, host))
+
+    def names(self) -> List[str]:
+        """All distinct metric names, sorted."""
+        return sorted({name for name, _ in self._instruments})
+
+    def hosts(self) -> List[str]:
+        """All distinct host labels, sorted ('' = cluster-global)."""
+        return sorted({host for _, host in self._instruments})
+
+    def series(self, name: str) -> List[Any]:
+        """Every per-host instrument of one metric, host-sorted."""
+        return [inst for (n, _), inst in
+                sorted(self._instruments.items(), key=lambda kv: kv[0])
+                if n == name]
+
+    # ------------------------------------------------------------ aggregation
+
+    def aggregate(self, name: str):
+        """Cluster-wide fold of one metric across hosts.
+
+        Counters sum; gauges report ``{"sum", "max"}`` over last-set
+        values; histograms merge bucket-by-bucket (all per-host series of
+        one name share bounds by construction).
+        """
+        series = self.series(name)
+        if not series:
+            return None
+        kind = series[0].kind
+        if kind == "counter":
+            return sum(inst.value for inst in series)
+        if kind == "gauge":
+            return {
+                "sum": sum(inst.value for inst in series),
+                "max": max(inst.max_value for inst in series),
+            }
+        merged = Histogram(name, host="*", bounds=series[0].bounds)
+        for inst in series:
+            for i, c in enumerate(inst.counts):
+                merged.counts[i] += c
+            merged.count += inst.count
+            merged.total += inst.total
+            if inst.min_value is not None and (
+                merged.min_value is None or inst.min_value < merged.min_value
+            ):
+                merged.min_value = inst.min_value
+            if inst.max_value is not None and (
+                merged.max_value is None or inst.max_value > merged.max_value
+            ):
+                merged.max_value = inst.max_value
+        return merged
+
+    # --------------------------------------------------------------- export
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Point-in-time view: per-host values plus cluster aggregates.
+
+        Safe mid-run; the result is plain dicts/numbers, detached from
+        the live instruments.
+        """
+        per_host: Dict[str, Dict[str, Any]] = {}
+        for (name, host), inst in sorted(self._instruments.items()):
+            per_host.setdefault(host, {})[name] = inst.snapshot()
+        cluster: Dict[str, Any] = {}
+        for name in self.names():
+            agg = self.aggregate(name)
+            cluster[name] = agg.snapshot() if isinstance(agg, Histogram) else agg
+        payload: Dict[str, Any] = {"per_host": per_host, "cluster": cluster}
+        if self._sim is not None:
+            payload["sim_time_us"] = self._sim.now
+        return payload
+
+    def to_json(self, indent: int = 2) -> str:
+        """The snapshot as JSON text."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def render(self) -> str:
+        """Human-readable table: one row per metric, cluster aggregate
+        plus the per-host breakdown."""
+        hosts = [h for h in self.hosts() if h]
+        header = ["metric", "cluster", *hosts]
+        body: List[List[str]] = []
+        for name in self.names():
+            agg = self.aggregate(name)
+            row = [name, _cell(agg)]
+            for host in hosts:
+                row.append(_cell(self.get(name, host)))
+            body.append(row)
+        if not body:
+            return "(no metrics recorded)"
+        widths = [max(len(header[i]), *(len(r[i]) for r in body))
+                  for i in range(len(header))]
+        lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip(),
+                 "  ".join("-" * w for w in widths)]
+        for row in body:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    """One table cell for an instrument, aggregate, or missing entry."""
+    if value is None:
+        return "-"
+    if isinstance(value, Histogram):
+        if not value.count:
+            return "n=0"
+        return (f"n={value.count} mean={value.mean:,.0f} "
+                f"p95<={_num(value.quantile(0.95))} max={_num(value.max_value)}")
+    if isinstance(value, Gauge):
+        return f"{_num(value.value)} (max {_num(value.max_value)})"
+    if isinstance(value, Counter):
+        return _num(value.value)
+    if isinstance(value, dict):  # gauge aggregate
+        return f"{_num(value.get('sum'))} (max {_num(value.get('max'))})"
+    return _num(value)
+
+
+def _num(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float) and not value.is_integer():
+        return f"{value:,.2f}"
+    return f"{int(value):,}"

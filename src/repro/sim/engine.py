@@ -18,7 +18,10 @@ import heapq
 from sys import getrefcount
 from typing import Any, Callable, List, Optional, Tuple
 
+from time import perf_counter
+
 from repro.errors import SimulationError
+from repro.obs.metrics import MetricsRegistry
 from repro.sim.events import Event
 from repro.sim.process import Task, TaskFailed
 from repro.sim.random import RandomStreams
@@ -82,6 +85,11 @@ class Simulator:
         self._running = False
         self.rand = RandomStreams(seed)
         self.trace = Tracer(self)
+        #: The unified metrics registry (off by default; see repro.obs).
+        self.metrics = MetricsRegistry(self)
+        #: Installed by repro.obs.profiler.SelfProfiler; None = no
+        #: per-event wall-clock accounting (the zero-cost default).
+        self._profiler = None
         self.failures: List[TaskFailed] = []
         #: When True (default), :meth:`run` raises the first task failure
         #: it encounters.  Fault-injection tests set this False and
@@ -235,7 +243,13 @@ class Simulator:
                 # (now already-dequeued) handle.
                 timer._sim = None
                 fn, args = timer.fn, timer.args
-                fn(*args)
+                profiler = self._profiler
+                if profiler is None:
+                    fn(*args)
+                else:
+                    started = perf_counter()
+                    fn(*args)
+                    profiler._account(fn, perf_counter() - started)
                 if self.strict and self.failures:
                     raise self.failures[0]
                 self._recycle(timer)

@@ -8,13 +8,26 @@ arguments, so a disabled tracer costs one attribute load and one branch
 :class:`TraceRecord` tuples that tests and the benchmark harness can
 filter.  For long soak runs, :meth:`Tracer.use_ring_buffer` bounds
 memory by keeping only the newest N records.
+
+Two record shapes exist:
+
+* **Instant records** (:meth:`Tracer.record`): a point in simulated
+  time.  A per-category index is maintained as records arrive, so
+  :meth:`Tracer.filter` with a category is O(matches), not
+  O(total records).
+* **Spans** (:meth:`Tracer.begin_span` / :meth:`Tracer.end_span`): an
+  interval with an id and an optional parent id, forming causal trees --
+  an IPC transaction, or a migration's precopy -> freeze -> residual
+  chain.  Tests query the tree with :meth:`Tracer.find_spans` and
+  :meth:`Tracer.children_of`; :mod:`repro.obs.timeline` serializes it to
+  Chrome ``trace_event`` JSON.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Any, List, Optional, Set, Tuple
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
 
 
 @dataclass(frozen=True)
@@ -34,8 +47,39 @@ class TraceRecord:
         return default
 
 
+@dataclass
+class Span:
+    """One traced interval; ``end_us`` stays None until ended."""
+
+    span_id: int
+    parent_id: int  # 0 = root
+    category: str
+    name: str
+    start_us: int
+    end_us: Optional[int] = None
+    data: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration_us(self) -> Optional[int]:
+        """Span length, or None while still open."""
+        if self.end_us is None:
+            return None
+        return self.end_us - self.start_us
+
+    def contains(self, other: "Span") -> bool:
+        """Whether ``other`` lies entirely within this span's interval
+        (both must be ended)."""
+        return (
+            self.end_us is not None
+            and other.end_us is not None
+            and self.start_us <= other.start_us
+            and other.end_us <= self.end_us
+        )
+
+
 class Tracer:
-    """Collects :class:`TraceRecord` for enabled categories."""
+    """Collects :class:`TraceRecord` and :class:`Span` for enabled
+    categories."""
 
     def __init__(self, sim):
         self._sim = sim
@@ -45,6 +89,16 @@ class Tracer:
         #: tracer never pays for keyword-argument construction.
         self.active = False
         self.records: List[TraceRecord] = []
+        #: category -> records of that category, in recording order.
+        #: Maintained by :meth:`record` (and kept consistent with ring-
+        #: buffer eviction) so filtering never rescans everything.
+        self._by_category: Dict[str, deque] = {}
+        #: All spans in begin order; unbounded (spans are rare compared
+        #: to instant records -- one per transaction/phase, not per
+        #: packet -- and the causal tree must stay whole for queries).
+        self.spans: List[Span] = []
+        self._span_by_id: Dict[int, Span] = {}
+        self._next_span_id = 1
 
     def enable(self, *categories: str) -> None:
         """Start recording the given categories ('*' records everything)."""
@@ -60,36 +114,136 @@ class Tracer:
         """Whether records in ``category`` are being kept."""
         return category in self._enabled or "*" in self._enabled
 
+    @property
+    def capacity(self) -> Optional[int]:
+        """The ring-buffer bound, or None when unbounded."""
+        return getattr(self.records, "maxlen", None)
+
     def use_ring_buffer(self, capacity: int) -> None:
         """Keep only the newest ``capacity`` records (bounded memory for
         long traced runs); existing records carry over, oldest-first
         eviction.  Call :meth:`use_unbounded` to switch back."""
         self.records = deque(self.records, maxlen=capacity)
+        self._reindex()
 
     def use_unbounded(self) -> None:
         """Return to the default grow-without-bound record list."""
         self.records = list(self.records)
+        self._reindex()
+
+    def _reindex(self) -> None:
+        """Rebuild the per-category index from ``records`` (mode switches
+        can drop old records; the index must match exactly)."""
+        by_category: Dict[str, deque] = {}
+        for rec in self.records:
+            queue = by_category.get(rec.category)
+            if queue is None:
+                queue = by_category[rec.category] = deque()
+            queue.append(rec)
+        self._by_category = by_category
+
+    # ------------------------------------------------------ instant records
 
     def record(self, category: str, message: str, **data: Any) -> None:
         """Append a record if the category is enabled."""
         if not self.active:
             return
         if category in self._enabled or "*" in self._enabled:
-            self.records.append(
-                TraceRecord(self._sim.now, category, message, tuple(sorted(data.items())))
+            rec = TraceRecord(
+                self._sim.now, category, message, tuple(sorted(data.items()))
             )
+            records = self.records
+            maxlen = getattr(records, "maxlen", None)
+            if maxlen == 0:
+                return  # capacity-0 ring: keep the index empty too
+            if maxlen is not None and len(records) == maxlen:
+                # The globally oldest record is also the oldest of its
+                # category, so the index evicts from the queue head.
+                evicted = records[0]
+                self._by_category[evicted.category].popleft()
+            records.append(rec)
+            queue = self._by_category.get(category)
+            if queue is None:
+                queue = self._by_category[category] = deque()
+            queue.append(rec)
 
     def filter(self, category: Optional[str] = None, message: Optional[str] = None) -> List[TraceRecord]:
-        """Records matching the given category and/or exact message."""
-        out = []
-        for rec in self.records:
-            if category is not None and rec.category != category:
-                continue
-            if message is not None and rec.message != message:
-                continue
-            out.append(rec)
-        return out
+        """Records matching the given category and/or exact message.
+
+        Results are in recording order.  With a category, the per-
+        category index makes this O(records in that category)."""
+        if category is not None:
+            source = self._by_category.get(category, ())
+            if message is None:
+                return list(source)
+            return [rec for rec in source if rec.message == message]
+        if message is None:
+            return list(self.records)
+        return [rec for rec in self.records if rec.message == message]
 
     def clear(self) -> None:
-        """Drop all accumulated records."""
-        self.records.clear()
+        """Drop all accumulated records and spans.  A ring buffer keeps
+        its capacity bound (clearing must not silently revert to
+        unbounded growth)."""
+        self.records.clear()  # deque.clear() preserves maxlen
+        self._by_category = {}
+        self.spans = []
+        self._span_by_id = {}
+        self._next_span_id = 1
+
+    # ----------------------------------------------------------------- spans
+
+    def begin_span(self, category: str, name: str, parent: int = 0,
+                   **data: Any) -> int:
+        """Open a span; returns its id (0 when the category is not being
+        traced -- 0 is safe to pass as ``parent`` or to ``end_span``).
+
+        ``parent`` links causality: pass the enclosing span's id so the
+        interval becomes a child in the tree."""
+        if not self.active:
+            return 0
+        if category not in self._enabled and "*" not in self._enabled:
+            return 0
+        span_id = self._next_span_id
+        self._next_span_id = span_id + 1
+        span = Span(span_id, parent, category, name, self._sim.now, None, data)
+        self.spans.append(span)
+        self._span_by_id[span_id] = span
+        return span_id
+
+    def end_span(self, span_id: int, **data: Any) -> None:
+        """Close a span (no-op for id 0 or an unknown/already-ended id);
+        extra ``data`` is merged into the span."""
+        span = self._span_by_id.get(span_id)
+        if span is None or span.end_us is not None:
+            return
+        span.end_us = self._sim.now
+        if data:
+            span.data.update(data)
+
+    def span(self, span_id: int) -> Optional[Span]:
+        """A span by id."""
+        return self._span_by_id.get(span_id)
+
+    def find_spans(self, category: Optional[str] = None,
+                   name: Optional[str] = None) -> List[Span]:
+        """Spans matching category and/or exact name, in begin order."""
+        return [
+            s for s in self.spans
+            if (category is None or s.category == category)
+            and (name is None or s.name == name)
+        ]
+
+    def children_of(self, span_id: int) -> List[Span]:
+        """Direct children of a span, in begin order."""
+        return [s for s in self.spans if s.parent_id == span_id]
+
+    def span_tree(self, span_id: int) -> List[Span]:
+        """A span and all its descendants, depth-first in begin order."""
+        root = self._span_by_id.get(span_id)
+        if root is None:
+            return []
+        out = [root]
+        for child in self.children_of(span_id):
+            out.extend(self.span_tree(child.span_id))
+        return out

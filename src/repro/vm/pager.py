@@ -59,6 +59,39 @@ class Pager:
         self.double_transfers = 0
         self.evictions = 0
         self.writeback_evictions = 0
+        #: Optional repro.obs registry (see bind_metrics); a standalone
+        #: Pager has no simulator reference, so binding is explicit.
+        self._metrics = None
+
+    # ------------------------------------------------------------ metrics
+
+    def bind_metrics(self, registry, host: str) -> "Pager":
+        """Mirror this pager's statistics into ``registry`` under
+        ``host``.  The stats above stay authoritative; entry points sync
+        deltas so internal helpers need no instrumentation of their own.
+        The label is the host the space was attached on -- pager state is
+        conceptually at the file server and the object migrates whole."""
+        self._metrics = registry
+        self._m_faults = registry.counter("vm.faults", host)
+        self._m_fault_us = registry.counter("vm.fault_us", host)
+        self._m_flushed = registry.counter("vm.flushed_pages", host)
+        self._m_evictions = registry.counter("vm.evictions", host)
+        self._mirrored = (self.faults, self.fault_us,
+                          self.flushed_pages, self.evictions)
+        return self
+
+    def _sync_metrics(self) -> None:
+        faults, fault_us, flushed, evictions = self._mirrored
+        if self.faults > faults:
+            self._m_faults.inc(self.faults - faults)
+        if self.fault_us > fault_us:
+            self._m_fault_us.inc(self.fault_us - fault_us)
+        if self.flushed_pages > flushed:
+            self._m_flushed.inc(self.flushed_pages - flushed)
+        if self.evictions > evictions:
+            self._m_evictions.inc(self.evictions - evictions)
+        self._mirrored = (self.faults, self.fault_us,
+                          self.flushed_pages, self.evictions)
 
     # ----------------------------------------------------------- attachment
 
@@ -124,6 +157,9 @@ class Pager:
                 self.faults += 1
                 cost += self.model.page_fault_service_us
         self.fault_us += cost
+        mr = self._metrics
+        if mr is not None and mr.active:
+            self._sync_metrics()
         return cost
 
     def service_faults_span(self, offset: int, nbytes: int) -> int:
@@ -154,6 +190,9 @@ class Pager:
                 cost += self.model.page_fault_service_us
             space._resident |= missing
             self.fault_us += cost
+            mr = self._metrics
+            if mr is not None and mr.active:
+                self._sync_metrics()
             return cost
         return self.service_faults(self.indexes_for_touch(offset, nbytes))
 
@@ -293,6 +332,9 @@ class Pager:
             page.dirty = False
             count += 1
         self.flushed_pages += count
+        mr = self._metrics
+        if mr is not None and mr.active:
+            self._sync_metrics()
         return count, count * self.model.page_flush_us_per_page
 
     def flush_dirty_resident(self) -> Tuple[int, int]:
@@ -310,6 +352,9 @@ class Pager:
             space._dirty &= ~mask
             count = len(indexes)
             self.flushed_pages += count
+            mr = self._metrics
+            if mr is not None and mr.active:
+                self._sync_metrics()
             return count, count * self.model.page_flush_us_per_page
         return self.flush(self.dirty_resident_pages())
 
@@ -348,4 +393,5 @@ def attach_pager(
     ``max_resident`` cap turns on CLOCK eviction with write-back."""
     pager = Pager(kernel.model, name or f"pager:{space.name}",
                   max_resident=max_resident)
+    pager.bind_metrics(kernel.sim.metrics, kernel.name)
     return pager.attach(space)

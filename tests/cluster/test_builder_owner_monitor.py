@@ -167,3 +167,55 @@ class TestMonitor:
         cluster, state = self.make_busy_cluster()
         monitor = ClusterMonitor(cluster)
         assert monitor.total_packets() > 0
+
+    def test_rows_mark_frozen_processes(self):
+        cluster, state = self.make_busy_cluster()
+        monitor = ClusterMonitor(cluster)
+        kernel = cluster.station("ws1").kernel
+        lh = kernel.logical_hosts[state["pid"].logical_host_id]
+        row = monitor.find_program("longsim")
+        assert row is not None and not row.frozen
+
+        kernel.freeze_logical_host(lh)
+        row = monitor.find_program("longsim")
+        assert row.frozen
+        # A frozen remote program keeps its remote flag and host.
+        assert row.remote and row.host == "ws1"
+
+        kernel.unfreeze_logical_host(lh)
+        assert not monitor.find_program("longsim").frozen
+
+    def test_rows_distinguish_remote_from_local(self):
+        cluster, state = self.make_busy_cluster()
+        holder = {}
+
+        def local_session(ctx):
+            pid, pm = yield from exec_program(ctx, "longsim")  # home machine
+            holder["pid"] = pid
+
+        cluster.spawn_session(cluster.workstations[2], local_session)
+        while "pid" not in holder and cluster.sim.peek() is not None:
+            cluster.sim.run(until_us=cluster.sim.now + 100_000)
+        rows = {r.pid: r for r in ClusterMonitor(cluster).programs()}
+        assert rows[state["pid"]].remote        # executed away from home
+        assert not rows[holder["pid"]].remote   # executed at home
+        assert rows[holder["pid"]].host == "ws2"
+
+    def test_metrics_snapshot_via_monitor(self):
+        cluster = build_cluster(n_workstations=3,
+                                registry=standard_registry(scale=0.5))
+        cluster.sim.metrics.enable()  # before any activity runs
+        state = {}
+
+        def session(ctx):
+            pid, pm = yield from exec_program(ctx, "longsim", where="ws1")
+            state["pid"] = pid
+
+        cluster.spawn_session(cluster.workstations[0], session)
+        cluster.run(until_us=2_000_000)
+        monitor = ClusterMonitor(cluster)
+        snap = monitor.metrics()
+        assert snap["cluster"]["sched.context_switches"] > 0
+        assert snap["cluster"]["net.tx_packets"] == monitor.total_packets()
+        assert snap["per_host"]["ws1"]["ipc.sends"] > 0
+        assert "sched.context_switches" in monitor.render_metrics()

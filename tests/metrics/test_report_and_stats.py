@@ -40,6 +40,30 @@ class TestStats:
         with pytest.raises(ValueError):
             percentile([1], 150)
 
+    def test_percentile_edge_ranks(self):
+        # A single observation answers every percentile.
+        for pct in (0, 50, 100):
+            assert percentile([42], pct) == 42
+        # Two values: the rank rounds to the nearer endpoint.
+        assert percentile([10, 20], 0) == 10
+        assert percentile([10, 20], 100) == 20
+        assert percentile([10, 20], 49) == 10
+        assert percentile([10, 20], 51) == 20
+        # Input order must not matter.
+        assert percentile([30, 10, 20], 100) == 30
+        with pytest.raises(ValueError):
+            percentile([1], -1)
+
+    def test_stddev_degenerate_inputs(self):
+        # Fewer than two observations have no spread, not an error.
+        assert stddev([]) == 0.0
+        assert stddev([123.4]) == 0.0
+        # Population (not sample) stddev: n in the denominator.
+        assert stddev([2, 4, 4, 4, 5, 5, 7, 9]) == 2.0
+
+    def test_mean_single_value(self):
+        assert mean([7]) == 7.0
+
 
 class TestReportRow:
     def test_ratio(self):

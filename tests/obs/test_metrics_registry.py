@@ -1,0 +1,133 @@
+"""Unit tests for the unified metrics registry (repro.obs.metrics)."""
+
+import json
+
+import pytest
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS_US,
+    MetricsRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        c = Counter("x", "ws0")
+        c.inc()
+        c.inc(41)
+        assert c.value == 42
+        assert c.snapshot() == 42
+
+    def test_gauge_tracks_high_water(self):
+        g = Gauge("depth", "ws0")
+        g.set(3)
+        g.set(9)
+        g.set(1)
+        assert g.value == 1
+        assert g.max_value == 9
+
+    def test_histogram_buckets_inclusive_upper_bound(self):
+        h = Histogram("lat", "ws0", bounds=(10, 100))
+        for v in (5, 10, 11, 100, 5000):
+            h.observe(v)
+        snap = h.snapshot()
+        # Bounds are inclusive upper edges; beyond-last is the open bucket.
+        assert snap["buckets"]["10"] == 2
+        assert snap["buckets"]["100"] == 2
+        assert snap["buckets"]["+inf"] == 1
+        assert h.count == 5
+        assert h.min_value == 5
+        assert h.max_value == 5000
+
+    def test_histogram_mean_and_quantile(self):
+        h = Histogram("lat", "ws0", bounds=(10, 100, 1000))
+        for v in (1, 2, 3, 50):
+            h.observe(v)
+        assert h.mean == pytest.approx((1 + 2 + 3 + 50) / 4)
+        # Quantiles resolve to a bucket upper bound.
+        assert h.quantile(0.5) == 10
+        assert h.quantile(0.99) == 100
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", "ws0", bounds=(10, 10))
+        with pytest.raises(ValueError):
+            Histogram("lat", "ws0", bounds=(100, 10))
+
+
+class TestRegistry:
+    def test_disabled_by_default(self):
+        m = MetricsRegistry()
+        assert not m.active
+        m.enable()
+        assert m.active
+        m.disable()
+        assert not m.active
+
+    def test_get_or_create_is_idempotent(self):
+        m = MetricsRegistry()
+        a = m.counter("ipc.sends", "ws0")
+        b = m.counter("ipc.sends", "ws0")
+        assert a is b
+        assert m.counter("ipc.sends", "ws1") is not a
+
+    def test_kind_mismatch_raises(self):
+        m = MetricsRegistry()
+        m.counter("x", "ws0")
+        with pytest.raises(TypeError):
+            m.gauge("x", "ws0")
+
+    def test_aggregate_counters_sum_across_hosts(self):
+        m = MetricsRegistry()
+        m.counter("pkts", "ws0").inc(3)
+        m.counter("pkts", "ws1").inc(4)
+        assert m.aggregate("pkts") == 7
+
+    def test_aggregate_gauges_report_sum_and_max(self):
+        m = MetricsRegistry()
+        m.gauge("depth", "ws0").set(2)
+        m.gauge("depth", "ws1").set(5)
+        agg = m.aggregate("depth")
+        assert agg["sum"] == 7
+        assert agg["max"] == 5
+
+    def test_aggregate_histograms_merge_buckets(self):
+        m = MetricsRegistry()
+        m.histogram("lat", "ws0", bounds=(10, 100)).observe(5)
+        m.histogram("lat", "ws1", bounds=(10, 100)).observe(500)
+        agg = m.aggregate("lat")
+        assert agg.count == 2
+        assert agg.counts == [1, 0, 1]
+        assert agg.min_value == 5 and agg.max_value == 500
+
+    def test_snapshot_and_json_roundtrip(self):
+        m = MetricsRegistry()
+        m.counter("pkts", "ws0").inc(3)
+        m.histogram("lat", "ws0").observe(12)
+        snap = json.loads(m.to_json())
+        assert snap["per_host"]["ws0"]["pkts"] == 3
+        assert "cluster" in snap and "pkts" in snap["cluster"]
+
+    def test_render_lists_every_metric_and_host(self):
+        m = MetricsRegistry()
+        m.counter("pkts", "ws0").inc(3)
+        m.gauge("depth", "ws1").set(2)
+        text = m.render()
+        assert "pkts" in text and "depth" in text
+        assert "ws0" in text and "ws1" in text and "cluster" in text
+
+    def test_reset_zeroes_but_keeps_instruments(self):
+        m = MetricsRegistry()
+        c = m.counter("pkts", "ws0")
+        c.inc(9)
+        m.reset()
+        assert m.counter("pkts", "ws0") is c
+        assert c.value == 0
+
+    def test_default_histogram_bounds_are_latencies(self):
+        m = MetricsRegistry()
+        h = m.histogram("lat", "ws0")
+        assert tuple(h.bounds) == LATENCY_BUCKETS_US

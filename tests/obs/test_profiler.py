@@ -1,0 +1,61 @@
+"""Wall-clock self-profiling of the simulator run loop."""
+
+from repro.obs import SelfProfiler
+from repro.sim import Simulator
+
+
+def burn(n=200):
+    return sum(range(n))
+
+
+class TestSelfProfiler:
+    def test_accounts_events_by_module(self):
+        sim = Simulator(seed=0)
+        profiler = SelfProfiler(sim)
+        for i in range(10):
+            sim.schedule(i * 10, burn)
+        sim.run()
+        rep = profiler.report()
+        assert rep["events"] == 10
+        assert rep["modeled_us"] == 90
+        assert __name__ in rep["categories"]
+        assert rep["categories"][__name__]["events"] == 10
+        assert sum(c["share"] for c in rep["categories"].values()) <= 1.01
+
+    def test_detach_restores_unprofiled_loop(self):
+        sim = Simulator(seed=0)
+        profiler = SelfProfiler(sim)
+        sim.schedule(10, burn)
+        sim.run()
+        profiler.detach()
+        assert sim._profiler is None
+        sim.schedule(10, burn)
+        sim.run()
+        assert profiler.report()["events"] == 1  # second event not counted
+
+    def test_no_profiler_by_default(self):
+        sim = Simulator(seed=0)
+        assert sim._profiler is None
+
+    def test_render_mentions_totals(self):
+        sim = Simulator(seed=0)
+        profiler = SelfProfiler(sim)
+        sim.schedule(1000, burn)
+        sim.run()
+        text = profiler.render()
+        assert "self-profile" in text
+        assert "1 events" in text
+
+    def test_profiled_run_matches_unprofiled_trajectory(self):
+        def scenario(sim):
+            order = []
+            sim.schedule(5, lambda: order.append("a"))
+            sim.schedule(1, lambda: order.append("b"))
+            sim.schedule(9, lambda: order.append("c"))
+            sim.run()
+            return order, sim.now, sim.event_count
+
+        plain = scenario(Simulator(seed=3))
+        profiled_sim = Simulator(seed=3)
+        SelfProfiler(profiled_sim)
+        assert scenario(profiled_sim) == plain

@@ -1,0 +1,106 @@
+"""Span tracing: causal begin/end intervals on the Tracer."""
+
+from repro.sim import Simulator
+
+
+def make_sim():
+    sim = Simulator(seed=0)
+    sim.trace.enable("*")
+    return sim
+
+
+class TestSpanLifecycle:
+    def test_disabled_tracer_returns_zero(self):
+        sim = Simulator(seed=0)
+        assert sim.trace.begin_span("ipc", "send") == 0
+        sim.trace.end_span(0)  # must be a harmless no-op
+        assert sim.trace.spans == []
+
+    def test_category_not_enabled_returns_zero(self):
+        sim = Simulator(seed=0)
+        sim.trace.enable("net")
+        assert sim.trace.begin_span("ipc", "send") == 0
+        assert sim.trace.begin_span("net", "tx") != 0
+
+    def test_begin_end_records_interval(self):
+        sim = make_sim()
+        sid = sim.trace.begin_span("ipc", "send", src="a", dst="b")
+        sim.schedule(250, lambda: sim.trace.end_span(sid, outcome="ok"))
+        sim.run()
+        span = sim.trace.span(sid)
+        assert span.start_us == 0
+        assert span.end_us == 250
+        assert span.duration_us == 250
+        assert span.data["outcome"] == "ok"
+        assert span.data["src"] == "a"
+
+    def test_open_span_has_no_duration(self):
+        sim = make_sim()
+        sid = sim.trace.begin_span("ipc", "send")
+        assert sim.trace.span(sid).end_us is None
+        assert sim.trace.span(sid).duration_us is None
+
+    def test_end_span_is_idempotent(self):
+        sim = make_sim()
+        sid = sim.trace.begin_span("ipc", "send")
+        sim.trace.end_span(sid)
+        first_end = sim.trace.span(sid).end_us
+        sim.schedule(100, lambda: None)
+        sim.run()
+        sim.trace.end_span(sid, late=True)  # already ended: ignored
+        span = sim.trace.span(sid)
+        assert span.end_us == first_end
+        assert "late" not in span.data
+
+    def test_end_unknown_span_is_noop(self):
+        sim = make_sim()
+        sim.trace.end_span(999)  # nothing raised, nothing recorded
+        assert sim.trace.spans == []
+
+
+class TestCausalTree:
+    def test_parent_links_build_a_tree(self):
+        sim = make_sim()
+        root = sim.trace.begin_span("migration", "migrate")
+        freeze = sim.trace.begin_span("migration", "freeze", parent=root)
+        copy_a = sim.trace.begin_span("migration", "residual-copy", parent=freeze)
+        copy_b = sim.trace.begin_span("migration", "residual-copy", parent=freeze)
+        for sid in (copy_a, copy_b, freeze, root):
+            sim.trace.end_span(sid)
+        kids = sim.trace.children_of(freeze)
+        assert [s.span_id for s in kids] == [copy_a, copy_b]
+        tree = sim.trace.span_tree(root)
+        assert [s.span_id for s in tree] == [root, freeze, copy_a, copy_b]
+
+    def test_contains_uses_time_bounds(self):
+        sim = make_sim()
+        outer = sim.trace.begin_span("x", "outer")
+        inner_holder = {}
+
+        def open_inner():
+            inner_holder["id"] = sim.trace.begin_span("x", "inner")
+
+        sim.schedule(10, open_inner)
+        sim.schedule(20, lambda: sim.trace.end_span(inner_holder["id"]))
+        sim.schedule(30, lambda: sim.trace.end_span(outer))
+        sim.run()
+        assert sim.trace.span(outer).contains(sim.trace.span(inner_holder["id"]))
+        assert not sim.trace.span(inner_holder["id"]).contains(sim.trace.span(outer))
+
+    def test_find_spans_filters(self):
+        sim = make_sim()
+        sim.trace.begin_span("migration", "freeze")
+        sim.trace.begin_span("migration", "precopy")
+        sim.trace.begin_span("ipc", "send")
+        assert len(sim.trace.find_spans("migration")) == 2
+        assert len(sim.trace.find_spans("migration", "freeze")) == 1
+        assert len(sim.trace.find_spans(name="send")) == 1
+
+    def test_clear_drops_spans(self):
+        sim = make_sim()
+        sid = sim.trace.begin_span("x", "s")
+        sim.trace.clear()
+        assert sim.trace.spans == []
+        assert sim.trace.span(sid) is None
+        # Ids restart; new spans are usable immediately.
+        assert sim.trace.begin_span("x", "t") == 1

@@ -1,0 +1,95 @@
+"""Chrome trace_event export (repro.obs.timeline)."""
+
+import json
+
+from repro.obs import chrome_trace_events, export_timeline
+from repro.obs.metrics import MetricsRegistry
+from repro.sim import Simulator
+
+
+def traced_sim():
+    sim = Simulator(seed=0)
+    sim.trace.enable("*")
+    sid = sim.trace.begin_span("migration", "freeze", host="ws1", lhid=7)
+    sim.schedule(500, lambda: sim.trace.end_span(sid))
+    sim.schedule(100, lambda: sim.trace.record("net", "transmit",
+                                               host="ws0", size=64))
+    sim.run()
+    return sim
+
+
+class TestChromeEvents:
+    def test_span_becomes_complete_event(self):
+        sim = traced_sim()
+        events = chrome_trace_events(sim.trace)
+        xs = [e for e in events if e["ph"] == "X"]
+        assert len(xs) == 1
+        (x,) = xs
+        assert x["name"] == "freeze"
+        assert x["cat"] == "migration"
+        assert x["ts"] == 0 and x["dur"] == 500
+        assert x["args"]["span_id"] == 1
+        assert x["args"]["lhid"] == 7
+
+    def test_record_becomes_instant_event(self):
+        sim = traced_sim()
+        instants = [e for e in chrome_trace_events(sim.trace)
+                    if e["ph"] == "i" and e["name"] == "transmit"]
+        assert len(instants) == 1
+        assert instants[0]["ts"] == 100
+
+    def test_one_pid_per_host(self):
+        sim = traced_sim()
+        events = chrome_trace_events(sim.trace)
+        names = {e["args"]["name"]: e["pid"] for e in events
+                 if e["ph"] == "M" and e["name"] == "process_name"}
+        # pid 1 is the unattributed "sim" track; hosts follow, sorted.
+        assert names["sim"] == 1
+        assert set(names) == {"sim", "ws0", "ws1"}
+        assert names["ws0"] < names["ws1"]
+
+    def test_open_span_emitted_as_instant(self):
+        sim = Simulator(seed=0)
+        sim.trace.enable("*")
+        sim.trace.begin_span("ipc", "send", host="ws0")
+        events = chrome_trace_events(sim.trace)
+        assert not [e for e in events if e["ph"] == "X"]
+        opens = [e for e in events if e["ph"] == "i" and "(open)" in e["name"]]
+        assert len(opens) == 1
+
+    def test_parent_id_carried_in_args(self):
+        sim = Simulator(seed=0)
+        sim.trace.enable("*")
+        root = sim.trace.begin_span("m", "root")
+        child = sim.trace.begin_span("m", "child", parent=root)
+        sim.trace.end_span(child)
+        sim.trace.end_span(root)
+        events = {e["name"]: e for e in chrome_trace_events(sim.trace)
+                  if e["ph"] == "X"}
+        assert events["child"]["args"]["parent_id"] == root
+        assert "parent_id" not in events["root"]["args"]
+
+
+class TestExport:
+    def test_export_writes_valid_json(self, tmp_path):
+        sim = traced_sim()
+        out = tmp_path / "timeline.json"
+        payload = export_timeline(sim.trace, out=str(out))
+        on_disk = json.loads(out.read_text())
+        assert on_disk == json.loads(json.dumps(payload))
+        assert on_disk["displayTimeUnit"] == "ms"
+        assert isinstance(on_disk["traceEvents"], list)
+
+    def test_export_embeds_metrics_snapshot(self, tmp_path):
+        sim = traced_sim()
+        metrics = MetricsRegistry(sim)
+        metrics.counter("pkts", "ws0").inc(9)
+        payload = export_timeline(sim.trace, metrics=metrics)
+        assert payload["otherData"]["metrics"]["per_host"]["ws0"]["pkts"] == 9
+
+    def test_export_accepts_file_object(self, tmp_path):
+        sim = traced_sim()
+        out = tmp_path / "t.json"
+        with open(out, "w") as fh:
+            export_timeline(sim.trace, out=fh)
+        assert json.loads(out.read_text())["traceEvents"]

@@ -1,0 +1,89 @@
+"""The tracer's per-category index and its ring-buffer interactions."""
+
+from repro.sim import Simulator
+
+
+def make_tracer(categories=("*",)):
+    sim = Simulator(seed=0)
+    sim.trace.enable(*categories)
+    return sim, sim.trace
+
+
+class TestCategoryIndex:
+    def test_filter_by_category_matches_full_scan(self):
+        sim, trace = make_tracer()
+        for i in range(50):
+            trace.record("net" if i % 2 else "ipc", f"m{i}", i=i)
+        for category in ("net", "ipc"):
+            indexed = trace.filter(category=category)
+            scanned = [r for r in trace.records if r.category == category]
+            assert indexed == scanned  # same records, same order
+
+    def test_filter_category_and_message(self):
+        sim, trace = make_tracer()
+        trace.record("net", "transmit", n=1)
+        trace.record("net", "drop", n=2)
+        trace.record("net", "transmit", n=3)
+        got = trace.filter(category="net", message="transmit")
+        assert [r.get("n") for r in got] == [1, 3]
+
+    def test_filter_unknown_category_is_empty(self):
+        sim, trace = make_tracer()
+        trace.record("net", "transmit")
+        assert trace.filter(category="nope") == []
+
+    def test_index_consistent_after_ring_eviction(self):
+        sim, trace = make_tracer()
+        trace.use_ring_buffer(10)
+        for i in range(35):
+            trace.record("even" if i % 2 == 0 else "odd", f"m{i}", i=i)
+        assert len(trace.records) == 10
+        for category in ("even", "odd"):
+            indexed = trace.filter(category=category)
+            scanned = [r for r in trace.records if r.category == category]
+            assert indexed == scanned
+
+    def test_mode_switches_reindex(self):
+        sim, trace = make_tracer()
+        for i in range(20):
+            trace.record("a", f"m{i}")
+        trace.use_ring_buffer(5)  # drops the 15 oldest
+        assert len(trace.filter(category="a")) == 5
+        trace.use_unbounded()
+        for i in range(20):
+            trace.record("a", f"n{i}")
+        assert len(trace.filter(category="a")) == 25
+
+
+class TestRingClearRegression:
+    def test_clear_preserves_ring_capacity(self):
+        """Regression: clear() on a ring-buffered tracer must keep the
+        capacity bound instead of reverting to unbounded growth."""
+        sim, trace = make_tracer()
+        trace.use_ring_buffer(8)
+        for i in range(20):
+            trace.record("x", f"m{i}")
+        trace.clear()
+        assert trace.capacity == 8
+        assert len(trace.records) == 0
+        for i in range(100):
+            trace.record("x", f"n{i}")
+        assert len(trace.records) == 8  # bound still enforced
+        assert len(trace.filter(category="x")) == 8
+
+    def test_clear_unbounded_stays_unbounded(self):
+        sim, trace = make_tracer()
+        for i in range(5):
+            trace.record("x", f"m{i}")
+        trace.clear()
+        assert trace.capacity is None
+        for i in range(50):
+            trace.record("x", f"m{i}")
+        assert len(trace.records) == 50
+
+    def test_capacity_zero_ring_stays_empty(self):
+        sim, trace = make_tracer()
+        trace.use_ring_buffer(0)
+        trace.record("x", "m")
+        assert len(trace.records) == 0
+        assert trace.filter(category="x") == []

@@ -29,6 +29,24 @@ def test_migrate_command(capsys):
     assert "frozen residual" in out
 
 
+def test_trace_command_emits_chrome_trace(tmp_path, capsys):
+    import json
+
+    out_file = tmp_path / "timeline.json"
+    assert main(["trace", "--program", "optimizer",
+                 "--out", str(out_file)]) == 0
+    out = capsys.readouterr().out
+    # The freeze span's duration is checked against MigrationStats live.
+    assert "freeze span:" in out and "==" in out
+    assert "self-profile" in out
+
+    payload = json.loads(out_file.read_text())
+    events = payload["traceEvents"]
+    assert any(e["ph"] == "X" and e["name"] == "freeze" for e in events)
+    assert any(e["ph"] == "M" for e in events)
+    assert payload["otherData"]["metrics"]["cluster"]["mig.migrations"] == 1
+
+
 def test_default_is_demo(capsys):
     assert main([]) == 0
     assert "simulated seconds" in capsys.readouterr().out
