@@ -1,6 +1,6 @@
 # Convenience targets for the V-System reproduction.
 
-.PHONY: install test bench bench-smoke examples demo trace-demo all
+.PHONY: install test bench bench-smoke bench-sweep examples demo trace-demo all
 
 install:
 	pip install -e . || python setup.py develop
@@ -15,6 +15,11 @@ bench:
 # fails on a >2x slowdown against the recorded BENCH_simcore.json.
 bench-smoke:
 	python -m pytest benchmarks/bench_simcore.py -m smoke -p no:cacheprovider
+
+# Serial vs 4-worker wall clock for the same migration sweep, plus the
+# byte-identity check on the merged payloads (see docs/PARALLEL.md).
+bench-sweep:
+	PYTHONPATH=src:benchmarks python -c "import json, bench_simcore; print(json.dumps(bench_simcore._measure_parallel_sweep(), indent=2))"
 
 examples:
 	for e in examples/*.py; do echo "== $$e"; python $$e; done

@@ -7,6 +7,9 @@
 * ``trace``   -- the same migration with full observability on: emits a
   Chrome/Perfetto timeline JSON, the metrics table, and the simulator's
   wall-clock self-profile.
+* ``sweep``   -- a process-parallel parameter sweep: replicate a
+  registered scenario over a config grid across worker processes, with
+  byte-identical output regardless of worker count.
 * ``info``    -- the calibrated hardware model and package layout.
 """
 
@@ -128,10 +131,92 @@ def cmd_trace(args: argparse.Namespace) -> int:
     print()
     print(sim.metrics.render())
     print()
+    print(_fastpath_summary(cluster))
+    print()
     print(state["profiler"].render())
     # Fail (for CI) unless the migration succeeded AND the exported
     # freeze span agrees exactly with the reported freeze time.
     return 0 if stats.success and match else 1
+
+
+def _fastpath_summary(cluster) -> str:
+    """One-screen account of what the IPC/network fast paths did this
+    run: binding-cache routing, packet-pool recycling, rx coalescing."""
+    hits = misses = fast = 0
+    for station in cluster.workstations:
+        cache = station.kernel.binding_cache
+        hits += cache.hits
+        misses += cache.misses
+        fast += cache.fast_hits
+    pool = cluster.net.pool.stats()
+    lookups = hits + misses
+    lines = [
+        "fast path summary",
+        f"  binding cache     {hits}/{lookups} hits"
+        + (f" ({100.0 * hits / lookups:.0f}%)" if lookups else "")
+        + f", {fast} memoized-route sends",
+        f"  packet pool       {pool['reused']} reused / "
+        f"{pool['allocated']} allocs, {pool['recycled']} recycled",
+        f"  rx batching       {cluster.net.rx_coalesced} deliveries coalesced",
+    ]
+    return "\n".join(lines)
+
+
+def _parse_set_value(text: str):
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    for cast in (int, float):
+        try:
+            return cast(text)
+        except ValueError:
+            pass
+    return text
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.parallel import SweepSpec, run_sweep, scenario_names
+
+    if args.scenario not in scenario_names():
+        print(f"unknown scenario {args.scenario!r}; "
+              f"known: {', '.join(scenario_names())}", file=sys.stderr)
+        return 2
+    grid = {}
+    for item in args.set or []:
+        if "=" not in item:
+            print(f"bad --set {item!r} (want key=v1[,v2,...])",
+                  file=sys.stderr)
+            return 2
+        key, _, values = item.partition("=")
+        grid[key] = [_parse_set_value(v) for v in values.split(",")]
+    spec = SweepSpec.from_grid(
+        args.scenario, grid,
+        replications=args.replications,
+        master_seed=args.seed,
+        workers=args.workers,
+        chunk_size=args.chunk_size,
+        timeout_s=args.timeout,
+        collect_metrics=args.metrics,
+    )
+    result = run_sweep(spec)
+    print(f"sweep {args.scenario!r}: {result.summary()}")
+    for ci, config in enumerate(spec.configs):
+        row = result.rows[ci]
+        ok = sum(1 for r in row if r.get("success", True))
+        shown = ", ".join(f"{k}={v}" for k, v in sorted(config.items()))
+        mean_t = sum(r["sim_time_us"] for r in row) / len(row)
+        print(f"  [{shown or 'defaults'}] {ok}/{len(row)} ok, "
+              f"mean sim time {mean_t / 1e6:.3f} s")
+    if result.metrics is not None:
+        merged = result.metrics
+        print(f"  metrics merged from {merged['merged_from']} replications "
+              f"({merged['sim_time_us_total'] / 1e6:.1f} simulated seconds total)")
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(result.to_json())
+            fh.write("\n")
+        print(f"  wrote {args.out}")
+    return 0
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -179,13 +264,32 @@ def main(argv=None) -> int:
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument("--out", default="timeline.json",
                        help="Chrome trace_event JSON output path")
+    sweep = sub.add_parser(
+        "sweep", help="process-parallel scenario sweep"
+    )
+    sweep.add_argument("--scenario", default="migration",
+                       help="registered scenario name (see repro.parallel)")
+    sweep.add_argument("--set", action="append", metavar="KEY=V1[,V2,...]",
+                       help="grid axis: sweep KEY over the listed values "
+                            "(repeatable; cartesian product)")
+    sweep.add_argument("--replications", type=int, default=1)
+    sweep.add_argument("--workers", type=int, default=1)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--chunk-size", type=int, default=0,
+                       help="units per work chunk (0 = auto)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       help="per-chunk wall-clock timeout in seconds")
+    sweep.add_argument("--metrics", action="store_true",
+                       help="collect and merge repro.obs metrics")
+    sweep.add_argument("--out", default=None,
+                       help="write the merged JSON payload here")
     sub.add_parser("info", help="calibrated model summary")
     args = parser.parse_args(argv)
     command = args.command or "demo"
     if command == "demo" and not hasattr(args, "workstations"):
         args.workstations, args.seed = 4, 42
     handler = {"demo": cmd_demo, "migrate": cmd_migrate, "trace": cmd_trace,
-               "info": cmd_info}[command]
+               "sweep": cmd_sweep, "info": cmd_info}[command]
     return handler(args)
 
 

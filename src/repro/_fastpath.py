@@ -1,0 +1,51 @@
+"""Global switches for the single-simulation fast paths.
+
+The IPC/network fast paths (packet free-list, message free-list, the
+binding-cache route memo, coalesced same-tick receive processing, the
+per-transport handler table, and memoized wire-cost functions) never
+change a simulation's trajectory -- same seeds give the same simulated
+times, event order and outcomes with every switch on or off.  The
+switches exist so ``benchmarks/bench_simcore.py`` can A/B the wall-clock
+cost of the PR 2-era code paths against the fast ones and *prove* the
+trajectory identity, not so users can mix and match.
+
+Components read the switches once, at construction time (a per-packet
+global load would itself be hot-path overhead), so toggling only affects
+simulators built afterwards::
+
+    from repro._fastpath import FASTPATH
+    FASTPATH.set_all(False)   # build a cluster the PR 2 way
+    ...
+    FASTPATH.set_all(True)    # back to the default
+"""
+
+from __future__ import annotations
+
+
+class FastPathFlags:
+    """One boolean per independently toggleable fast path (default on)."""
+
+    __slots__ = (
+        "packet_pool",
+        "message_pool",
+        "route_cache",
+        "batched_rx",
+        "handler_cache",
+        "cost_memo",
+    )
+
+    def __init__(self) -> None:
+        self.set_all(True)
+
+    def set_all(self, enabled: bool) -> None:
+        """Switch every fast path on or off at once."""
+        for name in self.__slots__:
+            setattr(self, name, enabled)
+
+    def snapshot(self) -> dict:
+        """Current switch positions (for benchmark payloads)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
+#: The process-wide switch block, consulted at component construction.
+FASTPATH = FastPathFlags()

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
+from repro._fastpath import FASTPATH
 from repro.config import PAGE_SIZE
 from repro.errors import NoSuchProcessError
 from repro.kernel.address_space import Page
@@ -52,6 +53,12 @@ class CopyEngine:
         self.sim = transport.sim
         self.model = transport.model
         self.nic = transport.nic
+        #: Pacing interval for one page; bulk_copy_us is a pure function
+        #: of its size argument, so computing it per streamed page (the
+        #: single hottest call in a migration) is pure overhead.
+        self._page_copy_us = (
+            self.model.bulk_copy_us(PAGE_SIZE) if FASTPATH.cost_memo else None
+        )
         # Pages/bytes this host pushed out via copy ops (repro.obs).
         m = self.sim.metrics
         self.metrics = m
@@ -63,6 +70,12 @@ class CopyEngine:
         #: CopyFrom requests we served: (src, seq) -> source pid, kept for
         #: selective retransmission of lost reply pages.
         self.served_copyfrom: Dict[Tuple[Pid, int], Pid] = {}
+
+    def _page_pace_us(self) -> int:
+        page_us = self._page_copy_us
+        if page_us is None:
+            page_us = self.model.bulk_copy_us(PAGE_SIZE)
+        return page_us
 
     # ------------------------------------------------------------ utilities
 
@@ -93,14 +106,14 @@ class CopyEngine:
         if self.metrics.active:
             self._m_pages.inc()
             self._m_bytes.inc(PAGE_SIZE)
-        self.nic.send(Packet(
-            self.nic.address, address, "copy-data",
+        self.nic.emit(
+            address, "copy-data",
             {"src": record.src_pid, "dst": record.dst, "seq": record.seq,
              "snapshot": snapshot},
             PAGE_SIZE,
-        ))
+        )
         self.sim.schedule(
-            self.model.bulk_copy_us(PAGE_SIZE),
+            self._page_pace_us(),
             self._send_page, record, address, pages, i + 1,
         )
 
@@ -108,12 +121,12 @@ class CopyEngine:
         indexes = record.page_indexes
         if indexes is None:
             indexes = record.page_indexes = tuple(p.index for p in record.pages)
-        self.nic.send(Packet(
-            self.nic.address, address, "copy-end",
+        self.nic.emit(
+            address, "copy-end",
             {"src": record.src_pid, "dst": record.dst, "seq": record.seq,
              "count": len(set(indexes)),
              "indexes": indexes},
-        ))
+        )
 
     def on_copy_nak(self, packet: Packet) -> None:
         """The receiver is missing specific pages: re-stream just those
@@ -147,10 +160,10 @@ class CopyEngine:
                 i for i in payload.get("indexes", ()) if i not in received
             )
             if missing:
-                self.nic.send(Packet(
-                    self.nic.address, packet.src, "copy-nak",
+                self.nic.emit(
+                    packet.src, "copy-nak",
                     {"src": src, "seq": seq, "missing": missing},
-                ))
+                )
             return
         pcb = self.find_copy_target(dst)
         if pcb is None:
@@ -163,17 +176,16 @@ class CopyEngine:
             # host defers like any request.  A reply-pending keeps the
             # sender alive; its retransmission restarts the stream, which
             # lands wherever the logical host is once unfrozen.
-            self.nic.send(Packet(
-                self.nic.address, packet.src, "reply-pending",
-                {"src": src, "seq": seq},
-            ))
+            self.nic.emit(
+                packet.src, "reply-pending", {"src": src, "seq": seq}
+            )
             return
         pcb.space.apply_copy(self._dedupe(snapshots).values())
         self.inbound.pop((src, seq), None)
-        self.nic.send(Packet(
-            self.nic.address, packet.src, "copy-ack",
+        self.nic.emit(
+            packet.src, "copy-ack",
             {"src": src, "seq": seq, "count": payload["count"]},
-        ))
+        )
 
     def on_copy_ack(self, packet: Packet) -> None:
         record = self._client(packet.payload)
@@ -239,22 +251,22 @@ class CopyEngine:
             if self.metrics.active:
                 self._m_pages.inc()
                 self._m_bytes.inc(PAGE_SIZE)
-            self.nic.send(Packet(
-                self.nic.address, address, "copyfrom-data",
+            self.nic.emit(
+                address, "copyfrom-data",
                 {"src": src, "seq": seq, "snapshot": snapshots[i]},
                 PAGE_SIZE,
-            ))
+            )
             self.sim.schedule(
-                self.model.bulk_copy_us(PAGE_SIZE),
+                self._page_pace_us(),
                 self._stream_reply, src, seq, snapshots, address, i + 1,
             )
             return
-        self.nic.send(Packet(
-            self.nic.address, address, "copyfrom-end",
+        self.nic.emit(
+            address, "copyfrom-end",
             {"src": src, "seq": seq,
              "count": len({s.index for s in snapshots}),
              "indexes": tuple(s.index for s in snapshots)},
-        ))
+        )
 
     def on_copyfrom_nak(self, packet: Packet) -> None:
         """The requester is missing pages of a CopyFrom we served:
@@ -286,11 +298,11 @@ class CopyEngine:
                 i for i in payload.get("indexes", ()) if i not in received
             )
             if missing:
-                self.nic.send(Packet(
-                    self.nic.address, packet.src, "copyfrom-nak",
+                self.nic.emit(
+                    packet.src, "copyfrom-nak",
                     {"src": payload["src"], "seq": payload["seq"],
                      "missing": missing},
-                ))
+                )
             return
         deduped = self._dedupe(record.received_snapshots)
         self.transport._complete_client(

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro._fastpath import FASTPATH
 from repro.config import PAGE_SIZE
 from repro.errors import (
     CopyFailedError,
@@ -34,7 +35,7 @@ from repro.errors import (
     NoSuchProcessError,
     SendTimeoutError,
 )
-from repro.ipc.messages import Message
+from repro.ipc.messages import Message, release_message
 from repro.kernel.ids import (
     KERNEL_SERVER_INDEX,
     Pid,
@@ -46,6 +47,9 @@ from repro.net.packet import Packet
 
 
 from repro.ipc.copyops import CopyEngine, PageSnapshot
+
+#: Upper bound on memoized routes per transport before a wholesale flush.
+_ROUTE_MEMO_MAX = 1024
 
 
 class ClientRecord:
@@ -155,6 +159,25 @@ class Transport:
         #: Bulk-transfer engine (CopyTo/CopyFrom streams + recovery).
         self.copies = CopyEngine(self)
         nic.install_handler(self.on_packet)
+        # ---- fast paths (see repro._fastpath; None = disabled)
+        #: packet kind -> bound handler, built lazily; replaces a
+        #: per-packet f-string + getattr on the hottest receive path.
+        self._handlers: Optional[Dict[str, Any]] = (
+            {} if FASTPATH.handler_cache else None
+        )
+        #: dst pid -> (epoch, counts_group_lookup, address|None, delay),
+        #: valid while the binding cache's epoch is unchanged.  Bounded:
+        #: flushed wholesale past _ROUTE_MEMO_MAX (routes rebuild in one
+        #: send each, so a flush is cheap; an actual LRU would cost more
+        #: bookkeeping per send than it saves).
+        self._routes: Optional[Dict[Pid, tuple]] = (
+            {} if FASTPATH.route_cache else None
+        )
+        #: model.bulk_copy_us(PAGE_SIZE) is a pure function of constants;
+        #: _record_interval recomputes it per (re)transmission otherwise.
+        self._page_copy_us: Optional[int] = (
+            model.bulk_copy_us(PAGE_SIZE) if FASTPATH.cost_memo else None
+        )
         # ---- counters for experiment reports
         self.sends = 0
         self.remote_requests = 0
@@ -257,9 +280,10 @@ class Transport:
         the full stream time for bulk copies (so a long copy is not
         restarted while still in flight)."""
         stream_pages = max(len(record.pages), len(record.indexes))
-        return self.model.retransmit_interval_us + self.model.bulk_copy_us(
-            PAGE_SIZE
-        ) * stream_pages
+        page_us = self._page_copy_us
+        if page_us is None:
+            page_us = self.model.bulk_copy_us(PAGE_SIZE)
+        return self.model.retransmit_interval_us + page_us * stream_pages
 
     def _transmit(self, record: ClientRecord) -> None:
         """Send (or re-send) the request for a client record."""
@@ -268,19 +292,49 @@ class Transport:
             self.group_lookups += 1
             self._send_request_packet(record, BROADCAST)
             return
+        routes = self._routes
+        cache = self.cache
+        if routes is not None:
+            route = routes.get(dst)
+            if route is not None and route[0] == cache.epoch:
+                # Stable binding: replay the resolved route (and exactly
+                # the counters the long path below would have bumped).
+                if route[1]:
+                    self.group_lookups += 1
+                address = route[2]
+                if address is None:
+                    self.local_requests += 1
+                    cache.note_fast_hit(cached=False)
+                    self.sim.schedule(route[3], self._deliver_request_local, record)
+                else:
+                    self.remote_requests += 1
+                    cache.note_fast_hit()
+                    self._send_request_packet(record, address)
+                return
         lhid = dst.logical_host_id
-        if is_wellknown_local_group(dst):
+        wellknown = is_wellknown_local_group(dst)
+        if wellknown:
             self.group_lookups += 1
         if self.kernel.hosts_lhid(lhid):
             self.local_requests += 1
             delay = self.model.local_rpc_us // 2
             if dst.is_group:
                 delay += self.model.group_id_lookup_us
+            if routes is not None:
+                cache.fast_misses += 1
+                if len(routes) >= _ROUTE_MEMO_MAX:
+                    routes.clear()
+                routes[dst] = (cache.epoch, wellknown, None, delay)
             self.sim.schedule(delay, self._deliver_request_local, record)
             return
-        address = self.cache.lookup(lhid)
+        address = cache.lookup(lhid)
         if address is not None:
             self.remote_requests += 1
+            if routes is not None:
+                cache.fast_misses += 1
+                if len(routes) >= _ROUTE_MEMO_MAX:
+                    routes.clear()
+                routes[dst] = (cache.epoch, wellknown, address, 0)
             self._send_request_packet(record, address)
         else:
             self._broadcast_ghq(lhid)
@@ -301,7 +355,7 @@ class Transport:
             "indexes": record.indexes,
         }
         size = message.wire_bytes if message is not None else 32
-        self.nic.send(Packet(self.nic.address, address, "request", payload, size))
+        self.nic.emit(address, "request", payload, size)
 
     def _deliver_request_local(self, record: ClientRecord) -> None:
         """Local fast path: hand the request straight to this kernel's
@@ -406,10 +460,21 @@ class Transport:
     def on_packet(self, packet: Packet) -> None:
         """NIC entry point: dispatch one arriving frame after the
         kernel's per-packet protocol-processing time."""
-        handler = getattr(self, f"_on_{packet.kind.replace('-', '_')}", None)
-        if handler is None:
-            raise IpcError(f"unknown packet kind {packet.kind!r}")
-        self.sim.schedule(self.model.packet_process_us, handler, packet)
+        handlers = self._handlers
+        if handlers is not None:
+            handler = handlers.get(packet.kind)
+            if handler is None:
+                handler = getattr(
+                    self, f"_on_{packet.kind.replace('-', '_')}", None
+                )
+                if handler is None:
+                    raise IpcError(f"unknown packet kind {packet.kind!r}")
+                handlers[packet.kind] = handler
+        else:
+            handler = getattr(self, f"_on_{packet.kind.replace('-', '_')}", None)
+            if handler is None:
+                raise IpcError(f"unknown packet kind {packet.kind!r}")
+        self.nic.schedule_rx(self.model.packet_process_us, handler, packet)
 
     # ---- requests
 
@@ -551,13 +616,10 @@ class Transport:
             if client is not None and not client.completed:
                 client.retries_left = self.model.max_retransmissions
             return
-        self.nic.send(
-            Packet(
-                self.nic.address,
-                record.origin_addr,
-                "reply-pending",
-                {"src": record.sender, "seq": record.seq},
-            )
+        self.nic.emit(
+            record.origin_addr,
+            "reply-pending",
+            {"src": record.sender, "seq": record.seq},
         )
 
     def _send_nak(self, kind: str, src: Pid, seq: int, dst: Pid, origin_addr) -> None:
@@ -569,14 +631,7 @@ class Transport:
             if client is not None and not client.completed:
                 self._local_nak(client, kind, dst)
             return
-        self.nic.send(
-            Packet(
-                self.nic.address,
-                origin_addr,
-                kind,
-                {"src": src, "seq": seq, "dst": dst},
-            )
-        )
+        self.nic.emit(origin_addr, kind, {"src": src, "seq": seq, "dst": dst})
 
     def _local_nak(self, client: ClientRecord, kind: str, dst: Pid) -> None:
         """A locally-dispatched request found no recipient."""
@@ -655,19 +710,16 @@ class Transport:
             )
             return
         message = record.reply_message
-        self.nic.send(
-            Packet(
-                self.nic.address,
-                address,
-                "reply",
-                {
-                    "src": record.sender,
-                    "seq": record.seq,
-                    "replier": record.recipient,
-                    "message": message,
-                },
-                message.wire_bytes if message is not None else 32,
-            )
+        self.nic.emit(
+            address,
+            "reply",
+            {
+                "src": record.sender,
+                "seq": record.seq,
+                "replier": record.recipient,
+                "message": message,
+            },
+            message.wire_bytes if message is not None else 32,
         )
 
     def _retry_reply(self, record: ServerRecord) -> None:
@@ -686,6 +738,15 @@ class Transport:
             )
             return
         self._servers.pop(record.key, None)
+        # The record is dead; offer its messages back to the free list
+        # (refcount-guarded, so a message the application -- or a local
+        # client record -- still holds is never recycled).
+        message, record.message = record.message, None
+        if message is not None:
+            release_message(message)
+        reply, record.reply_message = record.reply_message, None
+        if reply is not None:
+            release_message(reply)
 
     def _on_reply(self, packet: Packet) -> None:
         payload = packet.payload
@@ -781,14 +842,11 @@ class Transport:
                 to,
             )
             return
-        self.nic.send(
-            Packet(
-                self.nic.address,
-                address,
-                "forward",
-                dict(payload, origin=record.origin_addr),
-                message.wire_bytes if message is not None else 32,
-            )
+        self.nic.emit(
+            address,
+            "forward",
+            dict(payload, origin=record.origin_addr),
+            message.wire_bytes if message is not None else 32,
         )
 
     def _retry_forward(self, record: ServerRecord, message: Message, to: Pid) -> None:
@@ -812,11 +870,9 @@ class Transport:
             "indexes": (),
             "origin": record.origin_addr,
         }
-        self.nic.send(
-            Packet(
-                self.nic.address, address, "forward", payload,
-                message.wire_bytes if message is not None else 32,
-            )
+        self.nic.emit(
+            address, "forward", payload,
+            message.wire_bytes if message is not None else 32,
         )
 
     def _on_forward(self, packet: Packet) -> None:
@@ -830,20 +886,15 @@ class Transport:
     # ---- host queries (lhid -> physical address)
 
     def _broadcast_ghq(self, lhid: int) -> None:
-        self.nic.send(
-            Packet(self.nic.address, BROADCAST, "ghq", {"lhid": lhid})
-        )
+        self.nic.emit(BROADCAST, "ghq", {"lhid": lhid})
 
     def _on_ghq(self, packet: Packet) -> None:
         lhid = packet.payload["lhid"]
         if self.kernel.hosts_lhid(lhid):
-            self.nic.send(
-                Packet(
-                    self.nic.address,
-                    packet.src,
-                    "ghq-reply",
-                    {"lhid": lhid, "address": self.nic.address},
-                )
+            self.nic.emit(
+                packet.src,
+                "ghq-reply",
+                {"lhid": lhid, "address": self.nic.address},
             )
 
     def _on_ghq_reply(self, packet: Packet) -> None:
@@ -857,13 +908,8 @@ class Transport:
     def announce_binding(self, lhid: int) -> None:
         """Broadcast that this host now hosts ``lhid`` (the eager-rebind
         optimization the paper mentions in §3.1.4)."""
-        self.nic.send(
-            Packet(
-                self.nic.address,
-                BROADCAST,
-                "binding",
-                {"lhid": lhid, "address": self.nic.address},
-            )
+        self.nic.emit(
+            BROADCAST, "binding", {"lhid": lhid, "address": self.nic.address}
         )
 
     def _on_binding(self, packet: Packet) -> None:

@@ -4,17 +4,37 @@ One transmission at a time: a send that finds the bus busy queues behind
 the in-flight frame (this is what makes bulk CopyTo traffic contend with
 IPC traffic, as on the paper's real 10 Mbit segment).  Broadcast frames
 are delivered to every attached NIC except the sender's.
+
+Fast paths (all trajectory-preserving, see ``repro._fastpath``):
+
+* the segment owns the :class:`~repro.net.packet.PacketPool` that
+  recycles fully-delivered frames;
+* wire times are memoized per payload size (the cost model is a pure
+  function and a simulation uses only a handful of distinct sizes);
+* **coalesced receive processing**: every kernel charges the same
+  per-packet protocol-processing delay, so one frame delivered to many
+  NICs (a broadcast) -- or back-to-back frames processed in one event --
+  produces a run of handler timers at the *same* simulated time with
+  *consecutive* sequence numbers.  :meth:`Ethernet.schedule_rx` batches
+  such a run into one scheduled event.  Coalescing only happens while
+  ``sim._seq`` has not moved since the batch was opened, which proves no
+  foreign event can sort between the batched handlers; running them
+  back-to-back inside one event is therefore order-identical to running
+  them as separate events.  Each batched handler still counts as one
+  processed event so budgets and event-count comparisons are stable
+  across the toggle.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro._fastpath import FASTPATH
 from repro.config import DEFAULT_MODEL, HardwareModel
 from repro.errors import SimulationError
 from repro.net.addresses import HostAddress
 from repro.net.loss import LossModel, NoLoss
-from repro.net.packet import Packet
+from repro.net.packet import Packet, PacketPool
 
 
 class Ethernet:
@@ -40,6 +60,15 @@ class Ethernet:
         self.packets_sent = 0
         self.packets_dropped = 0
         self.bytes_sent = 0
+        #: Free list for fully-delivered frames (see repro.net.packet).
+        self.pool = PacketPool(enabled=FASTPATH.packet_pool)
+        self.pool.bind_metrics(sim.metrics)
+        #: Same-tick receive-processing events coalesced into one.
+        self.rx_coalesced = 0
+        self._batch_enabled = FASTPATH.batched_rx
+        self._rx_batch: Optional[list] = None  # [time, guard_seq, items]
+        self._cost_memo = FASTPATH.cost_memo
+        self._wire_us: Dict[int, int] = {}
         # Per-source instruments, labelled by str(address) -- the net
         # layer has no workstation names (repro.obs metric catalog).
         self.metrics = sim.metrics
@@ -95,12 +124,21 @@ class Ethernet:
         The frame occupies the bus for its wire time starting when the bus
         is next free; receivers see it at the end of that interval.
         """
-        wire_us = self.model.packet_wire_us(packet.size_bytes)
-        start = max(self.sim.now, self._busy_until)
+        size = packet.size_bytes
+        if self._cost_memo:
+            wire_us = self._wire_us.get(size)
+            if wire_us is None:
+                wire_us = self._wire_us[size] = self.model.packet_wire_us(size)
+        else:
+            wire_us = self.model.packet_wire_us(size)
+        now = self.sim.now
+        start = self._busy_until
+        if start < now:
+            start = now
         done = start + wire_us
         self._busy_until = done
         self.packets_sent += 1
-        self.bytes_sent += packet.size_bytes
+        self.bytes_sent += size
         if self.metrics.active:
             tx = self._m_tx.get(packet.src)
             if tx is None:
@@ -110,17 +148,17 @@ class Ethernet:
                     self.metrics.counter("net.tx_bytes", host),
                 )
             tx[0].inc()
-            tx[1].inc(packet.size_bytes)
-            if start > self.sim.now:
+            tx[1].inc(size)
+            if start > now:
                 # Contention: this frame queued behind the in-flight one.
-                self._m_bus_wait.inc(start - self.sim.now)
+                self._m_bus_wait.inc(start - now)
         trace = self.sim.trace
         if trace.active:
             trace.record(
                 "net", "transmit", packet_id=packet.packet_id, kind=packet.kind,
-                src=str(packet.src), dst=str(packet.dst), size=packet.size_bytes,
+                src=str(packet.src), dst=str(packet.dst), size=size,
             )
-        self.sim.schedule_at(done, self._deliver, packet)
+        self.sim.schedule(done - now, self._deliver, packet)
 
     def _deliver(self, packet: Packet) -> None:
         if packet.is_broadcast:
@@ -146,3 +184,51 @@ class Ethernet:
                     )
                 continue
             nic.receive(packet)
+        # Recycle unless a receiver kept the frame (a scheduled handler,
+        # a test's capture list, ...); held=1 accounts for the fired
+        # timer's args tuple the run loop still references.
+        self.pool.release(packet, held=1)
+
+    # ------------------------------------------- receive-processing batching
+
+    def schedule_rx(self, delay_us: int, fn, packet: Packet) -> None:
+        """Schedule one receive-processing callback, coalescing it into
+        the open same-time batch when provably order-identical (see the
+        module docstring).  The batch runner releases each packet back to
+        the pool once its handler has run."""
+        sim = self.sim
+        time = sim._now + delay_us
+        batch = self._rx_batch
+        if (
+            batch is not None
+            and batch[0] == time
+            and batch[1] == sim._seq
+            and self._batch_enabled
+        ):
+            batch[2].append((fn, packet))
+            self.rx_coalesced += 1
+            return
+        items = [(fn, packet)]
+        batch = [time, 0, items]
+        self._rx_batch = batch
+        sim.schedule(delay_us, self._run_rx_batch, items)
+        batch[1] = sim._seq
+
+    def _run_rx_batch(self, items: list) -> None:
+        batch = self._rx_batch
+        if batch is not None and batch[2] is items:
+            # This batch is firing; a later same-time schedule_rx must
+            # open a fresh one rather than append to a fired batch.
+            self._rx_batch = None
+        sim = self.sim
+        # Each coalesced handler still counts as one processed event, so
+        # event counts and budgets match the unbatched execution.
+        extra = len(items) - 1
+        if extra:
+            sim._event_count += extra
+        pool = self.pool
+        for i in range(len(items)):
+            fn, packet = items[i]
+            items[i] = None  # drop the tuple so release sees only us
+            fn(packet)
+            pool.release(packet)

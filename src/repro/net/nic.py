@@ -43,6 +43,33 @@ class Nic:
             return
         self.ethernet.transmit(packet)
 
+    def emit(
+        self,
+        dst: HostAddress,
+        kind: str,
+        payload,
+        size_bytes: int = 64,
+    ) -> None:
+        """Build a frame from us to ``dst`` -- recycled through the
+        segment's packet pool when possible -- and transmit it.  The
+        preferred way for protocol code to send."""
+        ethernet = self.ethernet
+        if ethernet is None:
+            return
+        ethernet.transmit(
+            ethernet.pool.alloc(self.address, dst, kind, payload, size_bytes)
+        )
+
+    def schedule_rx(self, delay_us: int, fn, packet: Packet) -> None:
+        """Schedule protocol processing of a received frame, letting the
+        segment coalesce same-tick processing events (and recycle the
+        frame afterwards)."""
+        ethernet = self.ethernet
+        if ethernet is None:
+            self.sim.schedule(delay_us, fn, packet)
+            return
+        ethernet.schedule_rx(delay_us, fn, packet)
+
     def receive(self, packet: Packet) -> None:
         """Called by the segment when a frame arrives for this NIC."""
         if self._handler is None:

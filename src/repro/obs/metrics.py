@@ -328,6 +328,79 @@ class MetricsRegistry:
         return "\n".join(lines)
 
 
+def merge_snapshots(snapshots: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold metric snapshots from independent runs into one report.
+
+    This is the cross-worker (and cross-replication) aggregation used by
+    the sweep engine: each worker process returns the plain-dict payload
+    of :meth:`MetricsRegistry.snapshot` for its replications, and the
+    merge folds them value-wise -- counters sum, gauges sum last-set
+    values and keep the global high-water mark, histograms merge
+    bucket-by-bucket.  Purely structural (dicts in, dict out), so it
+    works on snapshots that crossed a process boundary as JSON.
+
+    Merging is order-insensitive for every field except the derived
+    histogram ``mean`` (recomputed from the merged totals), so any
+    grouping of the same snapshots produces the same report -- the
+    property the serial ≡ parallel contract needs.
+    """
+    merged: Dict[str, Any] = {
+        "per_host": {},
+        "cluster": {},
+        "merged_from": len(snapshots),
+    }
+    sim_times = [s["sim_time_us"] for s in snapshots if "sim_time_us" in s]
+    if sim_times:
+        merged["sim_time_us"] = max(sim_times)
+        merged["sim_time_us_total"] = sum(sim_times)
+    for snap in snapshots:
+        for host, metrics in snap.get("per_host", {}).items():
+            into = merged["per_host"].setdefault(host, {})
+            for name, value in metrics.items():
+                into[name] = _merge_value(into.get(name), value)
+        for name, value in snap.get("cluster", {}).items():
+            merged["cluster"][name] = _merge_value(
+                merged["cluster"].get(name), value
+            )
+    return merged
+
+
+def _merge_value(into: Any, value: Any) -> Any:
+    """Fold one snapshot value (counter int / gauge dict / histogram
+    dict) into an accumulator of the same shape."""
+    if into is None:
+        # Deep-enough copy so the merge never aliases its inputs.
+        if isinstance(value, dict):
+            out = dict(value)
+            if "buckets" in out:
+                out["buckets"] = dict(out["buckets"])
+            return out
+        return value
+    if isinstance(value, dict) and "buckets" in value:
+        into["count"] += value["count"]
+        into["total"] += value["total"]
+        into["mean"] = (
+            round(into["total"] / into["count"], 3) if into["count"] else 0.0
+        )
+        for key in ("min",):
+            vals = [v for v in (into[key], value[key]) if v is not None]
+            into[key] = min(vals) if vals else None
+        vals = [v for v in (into["max"], value["max"]) if v is not None]
+        into["max"] = max(vals) if vals else None
+        for bucket, count in value["buckets"].items():
+            into["buckets"][bucket] = into["buckets"].get(bucket, 0) + count
+        return into
+    if isinstance(value, dict) and "sum" in value:  # cluster gauge aggregate
+        into["sum"] += value["sum"]
+        into["max"] = max(into["max"], value["max"])
+        return into
+    if isinstance(value, dict):  # per-host gauge {"value", "max"}
+        into["value"] += value["value"]
+        into["max"] = max(into["max"], value["max"])
+        return into
+    return into + value  # counter
+
+
 def _cell(value) -> str:
     """One table cell for an instrument, aggregate, or missing entry."""
     if value is None:

@@ -1,0 +1,31 @@
+"""Process-parallel scenario sweeps (``python -m repro sweep``).
+
+Public surface:
+
+* :class:`~repro.parallel.spec.SweepSpec` -- what to run (scenario ×
+  configs × replications), seeds, worker/chunk/timeout policy.
+* :func:`~repro.parallel.engine.run_sweep` /
+  :class:`~repro.parallel.engine.SweepResult` -- execute and merge.
+* :func:`~repro.parallel.scenarios.register_scenario` -- add scenarios.
+
+The defining property is **serial ≡ parallel**: the merged
+``SweepResult.to_json()`` is byte-identical regardless of worker count
+(see ``tests/properties/test_sweep_determinism.py``).
+"""
+
+from repro.parallel.engine import SweepResult, run_sweep
+from repro.parallel.scenarios import (
+    get_scenario,
+    register_scenario,
+    scenario_names,
+)
+from repro.parallel.spec import SweepSpec
+
+__all__ = [
+    "SweepSpec",
+    "SweepResult",
+    "run_sweep",
+    "register_scenario",
+    "get_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,204 @@
+"""The process-parallel sweep engine.
+
+Shards the independent replications of a :class:`~repro.parallel.spec.
+SweepSpec` across a ``multiprocessing`` pool and merges the results back
+into canonical (config-major) order.  The output contract is strict
+**serial ≡ parallel**: :meth:`SweepResult.to_json` is byte-identical
+whether the sweep ran in-process, on one worker, or on sixteen --
+guaranteed by per-unit seeds that depend only on unit coordinates, by
+executing the identical :func:`repro.parallel.worker.run_chunk` code on
+both paths, and by keying every result by its coordinates rather than
+its arrival order.
+
+Failure handling: a chunk whose worker crashes (pool breakage), raises,
+or exceeds ``spec.timeout_s`` is retried on a fresh pool up to
+``spec.max_retries`` times; whatever still fails then runs serially in
+the parent as a last resort, so a flaky pool degrades to the serial
+engine instead of losing work.  (A chunk that fails deterministically
+will, of course, fail the serial pass too -- and that exception
+propagates.)
+
+Wall-clock numbers live on the :class:`SweepResult` object only; they
+never enter the JSON payload, which must stay bit-stable across runs
+and machines.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+from time import perf_counter
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import merge_snapshots
+from repro.parallel.spec import SweepSpec
+from repro.parallel.worker import run_chunk
+
+Unit = Tuple[int, int, int, Dict[str, Any]]
+
+
+class SweepResult:
+    """Merged output of one sweep run."""
+
+    def __init__(
+        self,
+        spec: SweepSpec,
+        rows: List[List[Dict[str, Any]]],
+        metrics: Optional[Dict[str, Any]],
+        wall_seconds: float,
+        workers_used: int,
+        chunks: int,
+        chunks_retried: int,
+        chunks_fallback: int,
+    ):
+        self.spec = spec
+        #: rows[config_index][replication] -> scenario result dict.
+        self.rows = rows
+        #: Cross-worker merge of every replication's metrics snapshot
+        #: (None unless ``spec.collect_metrics``).
+        self.metrics = metrics
+        # -- execution diagnostics (wall-clock side; NOT in the payload)
+        self.wall_seconds = wall_seconds
+        self.workers_used = workers_used
+        self.chunks = chunks
+        self.chunks_retried = chunks_retried
+        self.chunks_fallback = chunks_fallback
+
+    def payload(self) -> Dict[str, Any]:
+        """The deterministic merged output: simulated quantities only,
+        independent of worker count, chunking and wall clock."""
+        out: Dict[str, Any] = {
+            "scenario": self.spec.scenario,
+            "master_seed": self.spec.master_seed,
+            "replications": self.spec.replications,
+            "configs": [dict(c) for c in self.spec.configs],
+            "results": self.rows,
+        }
+        if self.metrics is not None:
+            out["metrics"] = self.metrics
+        return out
+
+    def to_json(self) -> str:
+        """Canonical serialization (sorted keys): the byte-identity
+        surface of the serial ≡ parallel contract."""
+        return json.dumps(self.payload(), indent=2, sort_keys=True)
+
+    def summary(self) -> str:
+        n = self.spec.n_units
+        mode = (
+            f"{self.workers_used} workers" if self.workers_used > 1 else "serial"
+        )
+        extra = ""
+        if self.chunks_retried:
+            extra += f", {self.chunks_retried} chunk(s) retried"
+        if self.chunks_fallback:
+            extra += f", {self.chunks_fallback} chunk(s) fell back serial"
+        return (
+            f"{n} runs ({len(self.spec.configs)} configs x "
+            f"{self.spec.replications} reps) in {self.wall_seconds:.2f}s "
+            f"[{mode}, {self.chunks} chunks{extra}]"
+        )
+
+
+def _absorb(results: Dict[Tuple[int, int], Dict[str, Any]], triples) -> None:
+    for ci, ri, result in triples:
+        results[(ci, ri)] = result
+
+
+def _pool_context():
+    """Fork when the platform has it (workers inherit late-registered
+    scenarios and warm importable state for free); spawn otherwise."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def _run_pool_pass(
+    spec: SweepSpec,
+    pending: List[Tuple[int, List[Unit]]],
+    results: Dict[Tuple[int, int], Dict[str, Any]],
+) -> List[Tuple[int, List[Unit]]]:
+    """One pool attempt over ``pending`` (chunk_id, chunk) work; returns
+    the chunks that failed (crashed worker, raised, or timed out)."""
+    ctx = _pool_context()
+    n_procs = min(spec.workers, len(pending))
+    failed: List[Tuple[int, List[Unit]]] = []
+    pool = ctx.Pool(processes=n_procs)
+    dirty = False  # a timed-out/hung worker means close() could block
+    try:
+        async_results = [
+            (chunk_id, chunk,
+             pool.apply_async(run_chunk,
+                              (spec.scenario, chunk, spec.collect_metrics)))
+            for chunk_id, chunk in pending
+        ]
+        for chunk_id, chunk, handle in async_results:
+            try:
+                _absorb(results, handle.get(timeout=spec.timeout_s))
+            except multiprocessing.TimeoutError:
+                dirty = True
+                failed.append((chunk_id, chunk))
+            except Exception:
+                # Worker raised or the pool broke; either way this chunk
+                # produced nothing.
+                failed.append((chunk_id, chunk))
+    finally:
+        if dirty:
+            pool.terminate()
+        else:
+            pool.close()
+        pool.join()
+    return failed
+
+
+def run_sweep(spec: SweepSpec) -> SweepResult:
+    """Execute a sweep and merge its output (see module docstring)."""
+    chunks = spec.chunked_units()
+    results: Dict[Tuple[int, int], Dict[str, Any]] = {}
+    chunks_retried = 0
+    chunks_fallback = 0
+    workers_used = max(1, spec.workers)
+    started = perf_counter()
+
+    if spec.workers <= 1:
+        workers_used = 1
+        for chunk in chunks:
+            _absorb(results, run_chunk(spec.scenario, chunk,
+                                       spec.collect_metrics))
+    else:
+        pending = list(enumerate(chunks))
+        attempt = 0
+        while pending and attempt <= spec.max_retries:
+            if attempt:
+                chunks_retried += len(pending)
+            pending = _run_pool_pass(spec, pending, results)
+            attempt += 1
+        if pending:
+            # Last resort: run the stragglers here.  Deterministic
+            # failures re-raise now, with a full traceback.
+            chunks_fallback = len(pending)
+            for _chunk_id, chunk in pending:
+                _absorb(results, run_chunk(spec.scenario, chunk,
+                                           spec.collect_metrics))
+
+    rows = [
+        [results[(ci, ri)] for ri in range(spec.replications)]
+        for ci in range(len(spec.configs))
+    ]
+    metrics = None
+    if spec.collect_metrics:
+        snaps = [
+            r["metrics"] for row in rows for r in row if "metrics" in r
+        ]
+        metrics = merge_snapshots(snaps)
+    return SweepResult(
+        spec=spec,
+        rows=rows,
+        metrics=metrics,
+        wall_seconds=perf_counter() - started,
+        workers_used=workers_used,
+        chunks=len(chunks),
+        chunks_retried=chunks_retried,
+        chunks_fallback=chunks_fallback,
+    )

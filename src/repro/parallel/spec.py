@@ -1,0 +1,110 @@
+"""Sweep specifications: what to run, how many times, with which seeds.
+
+A :class:`SweepSpec` names a registered scenario (see
+:mod:`repro.parallel.scenarios`) and carries an explicit list of
+configurations; :meth:`SweepSpec.from_grid` expands a parameter grid
+into that list in deterministic (sorted-key, row-major) order, matching
+the paper's evaluation tables -- e.g. program size × host count, each
+cell replicated with distinct seeds.
+
+Seeding contract: replication ``(ci, ri)`` always runs with
+``derive_seed(master_seed, "sweep:<ci>:<ri>")``, a stable SHA-256
+derivation -- independent of worker count, chunking, execution order, or
+process boundaries.  This is one half of the serial ≡ parallel
+determinism guarantee (the other half is that scenarios take all their
+randomness from their simulator's seeded streams).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import SimulationError
+from repro.sim.random import derive_seed
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One sweep: ``scenario`` × ``configs`` × ``replications``."""
+
+    scenario: str
+    configs: Tuple[Dict[str, Any], ...]
+    replications: int = 1
+    master_seed: int = 0
+    #: Worker processes; 0 or 1 = run serially in this process.
+    workers: int = 1
+    #: Units per work-queue chunk; 0 = pick automatically (enough chunks
+    #: for ~4 rounds per worker, so stragglers rebalance).
+    chunk_size: int = 0
+    #: Wall-clock budget per chunk in seconds (None = no timeout).
+    timeout_s: Optional[float] = None
+    #: Extra attempts for chunks whose worker crashed or timed out,
+    #: before the engine falls back to running them serially.
+    max_retries: int = 1
+    #: Ship each replication's repro.obs snapshot back for aggregation.
+    collect_metrics: bool = False
+
+    def __post_init__(self):
+        if not self.configs:
+            raise SimulationError("sweep needs at least one configuration")
+        if self.replications < 1:
+            raise SimulationError("sweep needs at least one replication")
+        object.__setattr__(self, "configs", tuple(dict(c) for c in self.configs))
+
+    @classmethod
+    def from_grid(
+        cls,
+        scenario: str,
+        grid: Mapping[str, Sequence[Any]],
+        base: Optional[Mapping[str, Any]] = None,
+        **kwargs: Any,
+    ) -> "SweepSpec":
+        """Expand ``grid`` (param -> list of values) into the cartesian
+        product of configurations, in sorted-parameter row-major order,
+        each overlaid on ``base``."""
+        base = dict(base or {})
+        names = sorted(grid)
+        configs: List[Dict[str, Any]] = []
+        if names:
+            for values in product(*(grid[name] for name in names)):
+                config = dict(base)
+                config.update(zip(names, values))
+                configs.append(config)
+        else:
+            configs.append(dict(base))
+        return cls(scenario=scenario, configs=tuple(configs), **kwargs)
+
+    # ------------------------------------------------------------- work units
+
+    @property
+    def n_units(self) -> int:
+        return len(self.configs) * self.replications
+
+    def unit_seed(self, config_index: int, replication: int) -> int:
+        """The seed for replication ``replication`` of configuration
+        ``config_index`` -- a pure function of the master seed and the
+        unit's coordinates, never of scheduling."""
+        return derive_seed(
+            self.master_seed, f"sweep:{config_index}:{replication}"
+        )
+
+    def units(self) -> List[Tuple[int, int, int, Dict[str, Any]]]:
+        """All (config_index, replication, seed, config) work units, in
+        canonical (config-major) order."""
+        return [
+            (ci, ri, self.unit_seed(ci, ri), self.configs[ci])
+            for ci in range(len(self.configs))
+            for ri in range(self.replications)
+        ]
+
+    def chunked_units(self) -> List[List[Tuple[int, int, int, Dict[str, Any]]]]:
+        """The units split into work-queue chunks (canonical order is
+        preserved within and across chunks)."""
+        units = self.units()
+        size = self.chunk_size
+        if size <= 0:
+            rounds = max(1, self.workers) * 4
+            size = max(1, -(-len(units) // rounds))
+        return [units[i:i + size] for i in range(0, len(units), size)]

@@ -1,0 +1,44 @@
+"""Worker-side execution of sweep work chunks.
+
+``run_chunk`` is the function the pool invokes; it is also what the
+serial path calls directly, so serial and parallel runs execute the
+*identical* code on every unit -- the only difference is which process
+runs it.  Each worker process keeps one warm scratch dict per scenario
+(:data:`_WARM`) for reusable world-building artifacts; see
+:mod:`repro.parallel.scenarios` for what may legally live there.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.parallel.scenarios import get_scenario
+
+#: Per-process warm state, keyed by scenario name.  Lives for the life
+#: of the worker (the whole sweep), so chunk N+1 reuses what chunk N
+#: built.  Never shipped between processes.
+_WARM: Dict[str, dict] = {}
+
+#: Units completed by this process (a worker-liveness diagnostic).
+units_run = 0
+
+
+def run_chunk(
+    scenario_name: str,
+    units: List[Tuple[int, int, int, Dict[str, Any]]],
+    collect_metrics: bool = False,
+) -> List[Tuple[int, int, Dict[str, Any]]]:
+    """Run every ``(config_index, replication, seed, config)`` unit of a
+    chunk in order; returns ``(config_index, replication, result)``
+    triples.  Raises the first unit failure -- the engine treats the
+    whole chunk as failed and retries it."""
+    global units_run
+    fn = get_scenario(scenario_name)
+    warm = _WARM.setdefault(scenario_name, {})
+    out: List[Tuple[int, int, Dict[str, Any]]] = []
+    for ci, ri, seed, config in units:
+        result = fn(dict(config), seed, collect_metrics=collect_metrics,
+                    warm=warm)
+        units_run += 1
+        out.append((ci, ri, result))
+    return out

@@ -207,7 +207,12 @@ class Simulator:
         or ``max_events`` have fired.  Returns the final simulated time.
 
         With ``until_us`` given, the clock is advanced to exactly
-        ``until_us`` even if the last event fired earlier.
+        ``until_us`` even if the last event fired earlier -- but only
+        when the simulation is actually quiescent up to ``until_us``.
+        If ``max_events`` cut the run short with live events still
+        pending at or before ``until_us``, the clock stays at the last
+        fired event so callers see the true final ``now()`` instead of
+        teleporting past unprocessed work.
         """
         if self._running:
             raise SimulationError("run() re-entered; the simulator is not reentrant")
@@ -250,6 +255,11 @@ class Simulator:
                     started = perf_counter()
                     fn(*args)
                     profiler._account(fn, perf_counter() - started)
+                # A callback may have triggered a compaction through
+                # peek(), which rebuilds self._heap into a new list; a
+                # stale local here would keep draining the old one while
+                # new schedules land in the new one.
+                heap = self._heap
                 if self.strict and self.failures:
                     raise self.failures[0]
                 self._recycle(timer)
@@ -258,7 +268,9 @@ class Simulator:
                     if budget == 0:
                         break
             if until_us is not None and self._now < until_us:
-                self._now = until_us
+                nxt = self.peek()
+                if nxt is None or nxt > until_us:
+                    self._now = until_us
             return self._now
         finally:
             self._running = False

@@ -1,0 +1,144 @@
+"""Sweep engine: merging, retries, scenario registry, metrics."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.parallel import (
+    SweepSpec,
+    get_scenario,
+    register_scenario,
+    run_sweep,
+    scenario_names,
+)
+from repro.parallel.engine import SweepResult
+from repro.parallel.worker import run_chunk
+
+
+@register_scenario("_test_echo")
+def _echo_scenario(config, seed, collect_metrics=False, warm=None):
+    """No simulator at all -- echoes its inputs, for engine plumbing
+    tests.  Registered at import time so forked workers see it."""
+    if warm is not None:
+        warm["calls"] = warm.get("calls", 0) + 1
+    result = {"seed": seed, "config": dict(config), "sim_time_us": 0}
+    if config.get("boom"):
+        raise SimulationError("scenario asked to fail")
+    if collect_metrics:
+        result["metrics"] = {
+            "per_host": {}, "cluster": {"test.runs": 1}, "sim_time_us": 5,
+        }
+    return result
+
+
+class TestRegistry:
+    def test_lookup_and_names(self):
+        assert get_scenario("_test_echo") is _echo_scenario
+        assert "_test_echo" in scenario_names()
+        assert "migration" in scenario_names()
+        assert "ping" in scenario_names()
+
+    def test_unknown_scenario(self):
+        with pytest.raises(SimulationError, match="unknown scenario"):
+            get_scenario("nope")
+
+    def test_duplicate_registration_rejected(self):
+        with pytest.raises(SimulationError, match="already registered"):
+            register_scenario("_test_echo")(lambda *a, **k: {})
+
+
+class TestRunChunk:
+    def test_runs_units_in_order_with_their_seeds(self):
+        spec = SweepSpec.from_grid("_test_echo", {"x": [1, 2]},
+                                   replications=2, master_seed=3)
+        triples = run_chunk("_test_echo", spec.units())
+        assert [(ci, ri) for ci, ri, _ in triples] == [
+            (0, 0), (0, 1), (1, 0), (1, 1)
+        ]
+        for ci, ri, result in triples:
+            assert result["seed"] == spec.unit_seed(ci, ri)
+
+    def test_chunk_failure_raises(self):
+        spec = SweepSpec(scenario="_test_echo",
+                         configs=({"boom": True},))
+        with pytest.raises(SimulationError):
+            run_chunk("_test_echo", spec.units())
+
+
+class TestRunSweepSerial:
+    def test_rows_are_config_major(self):
+        spec = SweepSpec.from_grid("_test_echo", {"x": [10, 20]},
+                                   replications=3, master_seed=1)
+        result = run_sweep(spec)
+        assert len(result.rows) == 2
+        assert all(len(row) == 3 for row in result.rows)
+        assert result.rows[1][0]["config"]["x"] == 20
+        assert result.workers_used == 1
+
+    def test_payload_excludes_wall_clock(self):
+        result = run_sweep(SweepSpec(scenario="_test_echo", configs=({},)))
+        payload = json.loads(result.to_json())
+        assert "wall" not in result.to_json()
+        assert set(payload) == {
+            "scenario", "master_seed", "replications", "configs", "results"
+        }
+        assert result.wall_seconds >= 0  # attribute only
+
+    def test_metrics_merged_across_replications(self):
+        spec = SweepSpec(scenario="_test_echo", configs=({}, {}),
+                         replications=2, collect_metrics=True)
+        result = run_sweep(spec)
+        merged = result.metrics
+        assert merged["merged_from"] == 4
+        assert merged["cluster"]["test.runs"] == 4
+        assert merged["sim_time_us"] == 5          # max
+        assert merged["sim_time_us_total"] == 20   # sum
+
+    def test_deterministic_failure_propagates(self):
+        spec = SweepSpec(scenario="_test_echo", configs=({"boom": True},))
+        with pytest.raises(SimulationError):
+            run_sweep(spec)
+
+
+class TestRunSweepParallel:
+    def test_parallel_matches_serial_bytes(self):
+        spec = SweepSpec.from_grid("_test_echo", {"x": [1, 2, 3]},
+                                   replications=2, master_seed=5)
+        serial = run_sweep(spec)
+        parallel = run_sweep(dataclasses.replace(spec, workers=3))
+        assert parallel.to_json() == serial.to_json()
+        assert parallel.workers_used == 3
+
+    def test_failed_chunks_fall_back_to_serial_and_raise(self):
+        # A deterministic failure exhausts pool retries, then re-raises
+        # from the in-parent fallback pass.
+        spec = SweepSpec(scenario="_test_echo", configs=({"boom": True},),
+                         workers=2, max_retries=1)
+        with pytest.raises(SimulationError, match="asked to fail"):
+            run_sweep(spec)
+
+    def test_real_scenario_parallel(self):
+        spec = SweepSpec.from_grid("ping", {"count": [3]},
+                                   replications=2, master_seed=11,
+                                   workers=2)
+        result = run_sweep(spec)
+        assert all(r["completed"] == 3 for r in result.rows[0])
+
+
+class TestSweepResult:
+    def test_summary_mentions_shape(self):
+        result = run_sweep(SweepSpec.from_grid(
+            "_test_echo", {"x": [1, 2]}, replications=3))
+        assert "6 runs" in result.summary()
+        assert "2 configs x 3 reps" in result.summary()
+
+    def test_summary_reports_fallback(self):
+        result = SweepResult(
+            spec=SweepSpec(scenario="_test_echo", configs=({},)),
+            rows=[[{}]], metrics=None, wall_seconds=0.5, workers_used=4,
+            chunks=3, chunks_retried=2, chunks_fallback=1,
+        )
+        assert "2 chunk(s) retried" in result.summary()
+        assert "1 chunk(s) fell back serial" in result.summary()

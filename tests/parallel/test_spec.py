@@ -1,0 +1,84 @@
+"""SweepSpec: grid expansion, seeding, chunking."""
+
+import dataclasses
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.parallel import SweepSpec
+from repro.sim.random import derive_seed
+
+
+class TestFromGrid:
+    def test_cartesian_product_sorted_row_major(self):
+        spec = SweepSpec.from_grid(
+            "ping", {"b": [1, 2], "a": ["x", "y"]}
+        )
+        # Sorted param names: a varies slowest.
+        assert [tuple(sorted(c.items())) for c in spec.configs] == [
+            (("a", "x"), ("b", 1)),
+            (("a", "x"), ("b", 2)),
+            (("a", "y"), ("b", 1)),
+            (("a", "y"), ("b", 2)),
+        ]
+
+    def test_base_overlay(self):
+        spec = SweepSpec.from_grid(
+            "ping", {"count": [1, 2]}, base={"workstations": 5}
+        )
+        assert all(c["workstations"] == 5 for c in spec.configs)
+        assert [c["count"] for c in spec.configs] == [1, 2]
+
+    def test_empty_grid_is_one_base_config(self):
+        spec = SweepSpec.from_grid("ping", {}, base={"count": 3})
+        assert spec.configs == ({"count": 3},)
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            SweepSpec(scenario="ping", configs=())
+        with pytest.raises(SimulationError):
+            SweepSpec(scenario="ping", configs=({},), replications=0)
+
+
+class TestSeeding:
+    def test_seed_is_pure_function_of_coordinates(self):
+        spec = SweepSpec.from_grid("ping", {"count": [1, 2]},
+                                   replications=3, master_seed=99)
+        assert spec.unit_seed(1, 2) == derive_seed(99, "sweep:1:2")
+        # Unchanged by worker count / chunking knobs.
+        other = dataclasses.replace(spec, workers=8, chunk_size=1)
+        assert other.unit_seed(1, 2) == spec.unit_seed(1, 2)
+
+    def test_all_unit_seeds_distinct(self):
+        spec = SweepSpec.from_grid("ping", {"count": [1, 2, 3]},
+                                   replications=5)
+        seeds = [seed for _, _, seed, _ in spec.units()]
+        assert len(set(seeds)) == len(seeds)
+
+    def test_different_master_seed_changes_all(self):
+        a = SweepSpec(scenario="ping", configs=({},), replications=4)
+        b = dataclasses.replace(a, master_seed=1)
+        assert all(a.unit_seed(0, i) != b.unit_seed(0, i) for i in range(4))
+
+
+class TestChunking:
+    def test_chunks_cover_units_in_order(self):
+        spec = SweepSpec.from_grid("ping", {"count": [1, 2, 3]},
+                                   replications=4, chunk_size=5)
+        flat = [u for chunk in spec.chunked_units() for u in chunk]
+        assert flat == spec.units()
+        assert all(len(c) <= 5 for c in spec.chunked_units())
+
+    def test_auto_chunking_gives_multiple_rounds_per_worker(self):
+        spec = SweepSpec.from_grid("ping", {"count": list(range(8))},
+                                   replications=4, workers=2)
+        chunks = spec.chunked_units()
+        # 32 units over 2 workers: expect >= 2 chunks per worker.
+        assert len(chunks) >= 4
+        assert sum(len(c) for c in chunks) == spec.n_units
+
+    def test_units_are_config_major(self):
+        spec = SweepSpec.from_grid("ping", {"count": [1, 2]}, replications=2)
+        assert [(ci, ri) for ci, ri, _, _ in spec.units()] == [
+            (0, 0), (0, 1), (1, 0), (1, 1)
+        ]

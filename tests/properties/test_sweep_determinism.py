@@ -1,0 +1,124 @@
+"""The serial ≡ parallel contract, end to end.
+
+The sweep engine promises that the merged payload is *byte-identical*
+no matter how the work was scheduled: in-process, on a 1-worker pool,
+or sharded across 4 workers.  These tests run real simulator scenarios
+(not stubs) through every path and diff the canonical JSON.
+
+They also pin the isolation property underneath that promise: each
+replication's SimRandom streams are derived purely from its unit seed,
+so running replications back-to-back in one warm process cannot leak
+randomness (or any other state) between them.
+"""
+
+import dataclasses
+
+from repro.parallel import SweepSpec, run_sweep
+from repro.parallel.engine import SweepResult, _run_pool_pass
+from repro.parallel.worker import run_chunk
+
+# Cheap but real: full cluster build + multicast IPC per unit.
+SPEC = SweepSpec.from_grid(
+    "ping",
+    {"count": [2, 4, 6]},        # 3 configs...
+    replications=4,              # ... x 4 replications, per the issue
+    master_seed=1234,
+)
+
+
+def _rows_from_pool(spec, workers):
+    """Run the sweep on an actual pool of ``workers`` processes (the
+    engine's serial shortcut for workers<=1 is deliberately bypassed so
+    a true 1-worker pool gets exercised)."""
+    pooled = dataclasses.replace(spec, workers=workers)
+    results = {}
+    failed = _run_pool_pass(
+        pooled, list(enumerate(pooled.chunked_units())), results
+    )
+    assert failed == []
+    return [
+        [results[(ci, ri)] for ri in range(spec.replications)]
+        for ci in range(len(spec.configs))
+    ]
+
+
+class TestByteIdentity:
+    def test_serial_vs_1_worker_vs_4_workers(self):
+        serial = run_sweep(SPEC)
+        assert serial.workers_used == 1
+
+        one = SweepResult(
+            spec=SPEC, rows=_rows_from_pool(SPEC, 1), metrics=None,
+            wall_seconds=0.0, workers_used=1, chunks=0,
+            chunks_retried=0, chunks_fallback=0,
+        )
+        four = run_sweep(dataclasses.replace(SPEC, workers=4))
+        assert four.workers_used == 4
+
+        blob = serial.to_json()
+        assert one.to_json() == blob
+        assert four.to_json() == blob
+
+    def test_chunk_size_is_invisible(self):
+        base = dataclasses.replace(SPEC, workers=2)
+        by_one = run_sweep(dataclasses.replace(base, chunk_size=1))
+        by_five = run_sweep(dataclasses.replace(base, chunk_size=5))
+        assert by_one.to_json() == by_five.to_json()
+
+    def test_metrics_merge_is_schedule_invariant(self):
+        spec = dataclasses.replace(SPEC, collect_metrics=True)
+        serial = run_sweep(spec)
+        parallel = run_sweep(dataclasses.replace(spec, workers=4))
+        assert serial.metrics == parallel.metrics
+        assert serial.metrics["merged_from"] == spec.n_units
+        assert serial.to_json() == parallel.to_json()
+
+
+class TestStreamIsolation:
+    """SimRandom streams must never leak across replications."""
+
+    def test_warm_process_equals_fresh_runs(self):
+        # All 12 units back-to-back in THIS process (one warm dict) ...
+        together = dict(
+            ((ci, ri), r)
+            for ci, ri, r in run_chunk("ping", SPEC.units())
+        )
+        # ... versus each unit alone, rebuilt from just its seed.
+        for ci, ri, seed, config in SPEC.units():
+            [(_, _, alone)] = run_chunk("ping", [(ci, ri, seed, config)])
+            assert alone == together[(ci, ri)], (
+                f"unit ({ci},{ri}) changed when run after other units -- "
+                "state leaked between replications"
+            )
+
+    def test_execution_order_is_irrelevant(self):
+        units = SPEC.units()
+        forward = run_chunk("ping", units)
+        backward = run_chunk("ping", list(reversed(units)))
+        assert dict(((ci, ri), r) for ci, ri, r in forward) == dict(
+            ((ci, ri), r) for ci, ri, r in backward
+        )
+
+    def test_distinct_seeds_give_distinct_streams(self):
+        # The seeds themselves are distinct...
+        seeds = [seed for _, _, seed, _ in SPEC.units()]
+        assert len(set(seeds)) == len(seeds)
+        # ...and replications of the SAME config diverge in their
+        # simulated trajectories, not just their seeds.  The migration
+        # scenario consumes seeded randomness (dirty-page behavior), so
+        # its per-seed event counts must differ.
+        spec = SweepSpec(
+            scenario="migration",
+            configs=({"scale": 0.3, "settle_ms": 200},),
+            replications=4,
+            master_seed=1234,
+        )
+        rows = run_sweep(spec).rows
+        trajectories = {
+            (r["sim_time_us"], r["events"], r["packets"])
+            for r in rows[0]
+        }
+        assert len(trajectories) > 1, (
+            "replications with different seeds produced identical "
+            "trajectories; seeding may not reach the simulator"
+        )

@@ -465,3 +465,69 @@ def test_event_remove_callback():
     ev.trigger("x")
     sim.run()
     assert fired == []
+
+
+class TestRunForPeekInteraction:
+    """Regressions for the run_for/peek/max_events contract: a run cut
+    short by its event budget must report the true final now(), and a
+    peek() issued from inside a callback must not detach the run loop
+    from the live heap."""
+
+    def test_max_events_does_not_teleport_clock_to_until(self):
+        sim = Simulator()
+        seen = []
+        for t in (10, 20, 30):
+            sim.schedule(t, seen.append, t)
+        final = sim.run(until_us=1_000, max_events=1)
+        # Only the t=10 event fired; events at 20 and 30 are still
+        # pending, so the clock must not have jumped to 1000.
+        assert seen == [10]
+        assert final == sim.now == 10
+        assert sim.run(until_us=1_000) == 1_000
+        assert seen == [10, 20, 30]
+
+    def test_until_still_advances_clock_when_quiescent(self):
+        sim = Simulator()
+        sim.schedule(10, lambda: None)
+        # Budget exhausted, but nothing else is pending before until_us:
+        # advancing to until_us is the documented contract.
+        assert sim.run(until_us=500, max_events=1) == 500
+        sim.schedule(700, lambda: None)  # beyond the window
+        assert sim.run(until_us=600, max_events=5) == 600
+
+    def test_run_for_reports_true_final_now_after_budgeted_run(self):
+        sim = Simulator()
+        ticks = []
+
+        def tick():
+            ticks.append(sim.now)
+            sim.schedule(100, tick)
+
+        sim.schedule(100, tick)
+        sim.run(until_us=10_000, max_events=3)
+        assert sim.now == 300  # not 10_000: the heap was not exhausted
+        sim.run_for(200)
+        assert sim.now == 500
+
+    def test_peek_compaction_inside_callback_keeps_run_live(self):
+        sim = Simulator()
+        # A mass of cancelled timers deep enough that the next peek()
+        # triggers a one-pass compaction (which swaps out sim._heap).
+        stale = [sim.schedule(50_000 + i, lambda: None) for i in range(200)]
+        for timer in stale:
+            timer.cancel()
+        del stale
+        seen = []
+
+        def probe():
+            seen.append(("probe", sim.now))
+            assert sim.peek() == 200  # compacts: cancelled > half the heap
+            sim.schedule(300, seen.append, ("late", 400))
+
+        sim.schedule(100, probe)
+        sim.schedule(200, seen.append, ("mid", 200))
+        final = sim.run()
+        # Both the pre-existing event and the one scheduled after the
+        # in-callback compaction must fire.
+        assert seen == [("probe", 100), ("mid", 200), ("late", 400)]
+        assert final == 400
