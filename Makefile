@@ -1,6 +1,6 @@
 # Convenience targets for the V-System reproduction.
 
-.PHONY: install test bench bench-smoke bench-sweep examples demo trace-demo all
+.PHONY: install test bench bench-smoke bench-sweep chaos-smoke examples demo trace-demo all
 
 install:
 	pip install -e . || python setup.py develop
@@ -15,6 +15,12 @@ bench:
 # fails on a >2x slowdown against the recorded BENCH_simcore.json.
 bench-smoke:
 	python -m pytest benchmarks/bench_simcore.py -m smoke -p no:cacheprovider
+
+# Fixed-seed fault-injection campaign: every fault schedule x 10 seeds
+# with the invariant harness watching every event (see docs/FAULTS.md).
+# Exits non-zero if any of the four invariants is ever violated.
+chaos-smoke:
+	python -m repro chaos --seeds 10 --seed 7 --workers 2 --messages 20
 
 # Serial vs 4-worker wall clock for the same migration sweep, plus the
 # byte-identity check on the merged payloads (see docs/PARALLEL.md).

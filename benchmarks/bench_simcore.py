@@ -350,6 +350,46 @@ def _measure_metrics_overhead(disabled=None, repeats=3):
     }
 
 
+def _install_invariants(cluster, check_interval_events=1):
+    from repro.faults import InvariantChecker
+
+    InvariantChecker(
+        cluster, strict=True, check_interval_events=check_interval_events,
+    ).install(cluster.sim)
+
+
+def _measure_invariant_overhead(disabled=None, repeats=3):
+    """Wall-clock cost of the invariant harness on the storm.
+
+    The hook is compiled into the run loop unconditionally (one
+    attribute load + branch per event, like ``Tracer.active``), so the
+    *dormant* cost is measured by re-running the plain storm and
+    comparing against the same-session baseline: the ratio must stay
+    within the 1.05x noise floor.  The *enabled* run (checker installed,
+    structural scan every event) is reported for scale and must take the
+    identical simulated trajectory -- the checker only observes."""
+    if disabled is None:
+        disabled = _measure_storm(AddressSpace, repeats=repeats)
+    dormant = _measure_storm(AddressSpace, repeats=repeats)
+    enabled = _measure_storm(AddressSpace, repeats=repeats,
+                             instrument=_install_invariants)
+    identical = (
+        enabled["sim_time_us"] == disabled["sim_time_us"]
+        and enabled["events"] == disabled["events"]
+        and enabled["outcomes"] == disabled["outcomes"]
+        and dormant["sim_time_us"] == disabled["sim_time_us"]
+    )
+    return {
+        "scenario": "migration_storm (flat page tables)",
+        "disabled_seconds": round(disabled["seconds"], 3),
+        "dormant_seconds": round(dormant["seconds"], 3),
+        "enabled_seconds": round(enabled["seconds"], 3),
+        "dormant_ratio": round(dormant["seconds"] / disabled["seconds"], 3),
+        "enabled_ratio": round(enabled["seconds"] / disabled["seconds"], 3),
+        "identical_trajectory": identical,
+    }
+
+
 # -- scenario 2b: IPC/network fast-path A/B -----------------------------------
 
 def _measure_fastpath(repeats=3):
@@ -492,6 +532,7 @@ def collect(micro_rounds=MICRO_ROUNDS, engine_events=ENGINE_EVENTS):
     )
     engine = _engine_churn(engine_events)
     metrics_overhead = _measure_metrics_overhead(disabled=storm_flat)
+    invariant_overhead = _measure_invariant_overhead(disabled=storm_flat)
     fastpath = _measure_fastpath()
     parallel_sweep = _measure_parallel_sweep()
 
@@ -523,6 +564,7 @@ def collect(micro_rounds=MICRO_ROUNDS, engine_events=ENGINE_EVENTS):
             "identical_trajectory": identical,
         },
         "metrics_overhead": metrics_overhead,
+        "invariant_overhead": invariant_overhead,
         "fastpath": fastpath,
         "parallel_sweep": parallel_sweep,
         "engine": engine,
@@ -561,6 +603,15 @@ def test_simcore_fastpaths(benchmark):
     assert overhead["overhead_ratio"] <= 1.15, (
         f"enabled metrics cost {overhead['overhead_ratio']:.2f}x "
         f"on the storm (budget: 1.15x)"
+    )
+
+    invariants = payload["invariant_overhead"]
+    assert invariants["identical_trajectory"], (
+        "installing the invariant checker changed the simulated trajectory"
+    )
+    assert invariants["dormant_ratio"] <= 1.05, (
+        f"the dormant invariant hook cost {invariants['dormant_ratio']:.2f}x "
+        f"on the storm (budget: 1.05x)"
     )
 
     fastpath = payload["fastpath"]
@@ -619,6 +670,28 @@ def test_smoke_metrics_disabled_is_free():
     # Enabling metrics must not change the simulated trajectory either.
     enabled = _run_storm(AddressSpace, instrument=_enable_metrics)
     assert (enabled["sim_time_us"], enabled["events"], enabled["outcomes"]) \
+        == (run["sim_time_us"], run["events"], run["outcomes"])
+
+
+@pytest.mark.smoke
+def test_smoke_invariants_dormant_is_free():
+    """Quick CI check: with no checker installed (the default), the
+    storm -- which now carries the invariant hook in its run loop --
+    still clears the recorded events/sec floor, and installing a
+    checker does not change the simulated trajectory."""
+    run = _run_storm(AddressSpace)
+    baseline = _load_baseline()
+    if baseline:
+        floor = baseline["migration_storm"]["flat_events_per_sec"] / 2
+        assert run["events_per_sec"] >= floor, (
+            f"dormant-invariants storm regressed >2x: "
+            f"{run['events_per_sec']} events/sec vs recorded {floor * 2:.0f}"
+        )
+    checked = _run_storm(
+        AddressSpace,
+        instrument=lambda c: _install_invariants(c, check_interval_events=16),
+    )
+    assert (checked["sim_time_us"], checked["events"], checked["outcomes"]) \
         == (run["sim_time_us"], run["events"], run["outcomes"])
 
 

@@ -10,6 +10,9 @@
 * ``sweep``   -- a process-parallel parameter sweep: replicate a
   registered scenario over a config grid across worker processes, with
   byte-identical output regardless of worker count.
+* ``chaos``   -- a fault-injection campaign: sweep fault schedules ×
+  seeds with the invariant harness watching every event, and print the
+  verdict table (exit 1 on any violation).
 * ``info``    -- the calibrated hardware model and package layout.
 """
 
@@ -175,6 +178,7 @@ def _parse_set_value(text: str):
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.errors import SimulationError
     from repro.parallel import SweepSpec, run_sweep, scenario_names
 
     if args.scenario not in scenario_names():
@@ -183,22 +187,26 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         return 2
     grid = {}
     for item in args.set or []:
-        if "=" not in item:
+        key, eq, values = item.partition("=")
+        if not eq or not key or not values:
             print(f"bad --set {item!r} (want key=v1[,v2,...])",
                   file=sys.stderr)
             return 2
-        key, _, values = item.partition("=")
         grid[key] = [_parse_set_value(v) for v in values.split(",")]
-    spec = SweepSpec.from_grid(
-        args.scenario, grid,
-        replications=args.replications,
-        master_seed=args.seed,
-        workers=args.workers,
-        chunk_size=args.chunk_size,
-        timeout_s=args.timeout,
-        collect_metrics=args.metrics,
-    )
-    result = run_sweep(spec)
+    try:
+        spec = SweepSpec.from_grid(
+            args.scenario, grid,
+            replications=args.replications,
+            master_seed=args.seed,
+            workers=args.workers,
+            chunk_size=args.chunk_size,
+            timeout_s=args.timeout,
+            collect_metrics=args.metrics,
+        )
+        result = run_sweep(spec)
+    except SimulationError as exc:
+        print(f"sweep: {exc}", file=sys.stderr)
+        return 2
     print(f"sweep {args.scenario!r}: {result.summary()}")
     for ci, config in enumerate(spec.configs):
         row = result.rows[ci]
@@ -217,6 +225,39 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             fh.write("\n")
         print(f"  wrote {args.out}")
     return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.errors import SimulationError
+    from repro.faults import (
+        campaign_ok,
+        run_campaign,
+        schedule_names,
+        verdict_table,
+    )
+
+    schedules = args.schedules.split(",") if args.schedules else None
+    try:
+        result = run_campaign(
+            schedules=schedules,
+            seeds=args.seeds,
+            master_seed=args.seed,
+            workers=args.workers,
+            messages=args.messages,
+            break_rebinding=args.break_rebinding,
+        )
+    except SimulationError as exc:
+        print(f"chaos: {exc} (schedules: {', '.join(schedule_names())})",
+              file=sys.stderr)
+        return 2
+    print(f"chaos campaign: {result.summary()}")
+    print(verdict_table(result))
+    if args.out:
+        with open(args.out, "w") as fh:
+            fh.write(result.to_json())
+            fh.write("\n")
+        print(f"wrote {args.out}")
+    return 0 if campaign_ok(result) else 1
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -283,13 +324,31 @@ def main(argv=None) -> int:
                        help="collect and merge repro.obs metrics")
     sweep.add_argument("--out", default=None,
                        help="write the merged JSON payload here")
+    chaos = sub.add_parser(
+        "chaos", help="fault-injection campaign with invariant verdicts"
+    )
+    chaos.add_argument("--schedules", default=None,
+                       metavar="NAME[,NAME,...]",
+                       help="fault schedules to sweep (default: all)")
+    chaos.add_argument("--seeds", type=int, default=10,
+                       help="replications (seeds) per schedule")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="campaign master seed")
+    chaos.add_argument("--workers", type=int, default=1)
+    chaos.add_argument("--messages", type=int, default=30,
+                       help="client requests per run")
+    chaos.add_argument("--break-rebinding", action="store_true",
+                       help="intentionally disable lazy rebinding (the "
+                            "campaign must then FAIL no-residual-dependency)")
+    chaos.add_argument("--out", default=None,
+                       help="write the merged JSON payload here")
     sub.add_parser("info", help="calibrated model summary")
     args = parser.parse_args(argv)
     command = args.command or "demo"
     if command == "demo" and not hasattr(args, "workstations"):
         args.workstations, args.seed = 4, 42
     handler = {"demo": cmd_demo, "migrate": cmd_migrate, "trace": cmd_trace,
-               "sweep": cmd_sweep, "info": cmd_info}[command]
+               "sweep": cmd_sweep, "chaos": cmd_chaos, "info": cmd_info}[command]
     return handler(args)
 
 

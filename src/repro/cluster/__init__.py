@@ -16,6 +16,10 @@ from repro.cluster.balancer import (
     LoadBalancer,
     install_load_balancer,
 )
+from repro.cluster.supervisor import (
+    ClusterSupervisor,
+    install_cluster_supervisor,
+)
 
 __all__ = [
     "Cluster",
@@ -23,6 +27,8 @@ __all__ = [
     "Owner",
     "OwnerActivityModel",
     "ClusterMonitor",
+    "ClusterSupervisor",
+    "install_cluster_supervisor",
     "LoadBalancer",
     "BalancerPolicy",
     "install_load_balancer",

@@ -1,0 +1,101 @@
+"""The cluster supervisor: crash detection and binding scrubbing.
+
+The paper's environment assumes hosts fail independently ("the
+probability of all hosts failing simultaneously is much lower", §3.3);
+what makes that assumption *useful* is that the rest of the cluster
+notices a dead machine and stops routing to it.  The
+:class:`ClusterSupervisor` is that noticing: a periodic probe over every
+machine that, on finding a crashed kernel, *evicts* it -- scrubbing
+every surviving kernel's binding-cache entries that still point at the
+dead machine's physical address, so the next Send re-resolves via
+broadcast instead of retransmitting into a void.
+
+A machine that reboots (``cluster.reboot_workstation``) comes back with
+a fresh kernel at the same address; the supervisor sees it alive again
+and clears the eviction, so a later crash of the same host is evicted
+anew.
+
+The supervisor runs off simulator timers (not as a process), so it
+costs nothing between probes and is exactly reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+#: Default probe period: 1/2 s of simulated time.
+DEFAULT_PROBE_INTERVAL_US = 500_000
+
+
+class ClusterSupervisor:
+    """Watches a cluster for crashed machines and scrubs stale bindings."""
+
+    def __init__(self, cluster, probe_interval_us: int = DEFAULT_PROBE_INTERVAL_US):
+        self.cluster = cluster
+        self.probe_interval_us = probe_interval_us
+        #: (time_us, host name) per eviction, in order.
+        self.evictions: List[Tuple[int, str]] = []
+        #: Binding-cache entries scrubbed across all evictions.
+        self.bindings_scrubbed = 0
+        self.probes = 0
+        self._dead: Set[str] = set()
+        self._running = False
+
+    # -------------------------------------------------------------- control
+
+    def start(self) -> "ClusterSupervisor":
+        """Begin probing (first probe one interval from now)."""
+        if not self._running:
+            self._running = True
+            self.cluster.sim.schedule(self.probe_interval_us, self._probe)
+        return self
+
+    def stop(self) -> None:
+        """Stop after the current interval (the pending timer no-ops)."""
+        self._running = False
+
+    # -------------------------------------------------------------- probing
+
+    def _machines(self):
+        # Read the lists each probe: reboot_workstation replaces entries.
+        return self.cluster.workstations + self.cluster.server_machines
+
+    def _probe(self) -> None:
+        if not self._running:
+            return
+        self.probes += 1
+        for station in self._machines():
+            if station.kernel.alive:
+                self._dead.discard(station.name)
+            elif station.name not in self._dead:
+                self._dead.add(station.name)
+                self._evict(station)
+        self.cluster.sim.schedule(self.probe_interval_us, self._probe)
+
+    def _evict(self, station) -> None:
+        """Declare one machine crashed: scrub every survivor's bindings
+        to its address so logical hosts that lived there re-resolve."""
+        sim = self.cluster.sim
+        address = station.address
+        scrubbed = 0
+        for other in self._machines():
+            if other is station or not other.kernel.alive:
+                continue
+            scrubbed += other.kernel.binding_cache.invalidate_address(address)
+        self.evictions.append((sim.now, station.name))
+        self.bindings_scrubbed += scrubbed
+        m = sim.metrics
+        if m.active:
+            m.counter("cluster.evictions", station.name).inc()
+            m.counter("cluster.bindings_scrubbed", station.name).inc(scrubbed)
+        if sim.trace.active:
+            sim.trace.record(
+                "cluster", "evict", host=station.name, scrubbed=scrubbed,
+            )
+
+
+def install_cluster_supervisor(
+    cluster, probe_interval_us: int = DEFAULT_PROBE_INTERVAL_US
+) -> ClusterSupervisor:
+    """Create and start a supervisor for a built cluster."""
+    return ClusterSupervisor(cluster, probe_interval_us).start()

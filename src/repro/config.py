@@ -78,6 +78,16 @@ class HardwareModel:
     #: Number of retransmissions before a Send is declared failed.
     max_retransmissions: int = 5
 
+    #: Multiplier applied to the retransmission interval after each
+    #: unanswered attempt (capped exponential backoff).  1.0 -- the
+    #: paper's fixed-interval behavior -- is the default; fault-injection
+    #: campaigns raise it so a storm of retries does not keep a lossy
+    #: segment saturated.
+    retransmit_backoff: float = 1.0
+
+    #: Ceiling on the backed-off retransmission interval.
+    retransmit_backoff_cap_us: int = 1_600_000
+
     #: Broadcast the new logical-host binding when a migrated copy is
     #: unfrozen (the eager-rebind optimization of paper §3.1.4).  With
     #: False, every stale reference rebinds lazily through NAK-or-timeout

@@ -5,7 +5,16 @@ so callers can catch the whole family with one clause.  Subsystems raise
 their own subclass; errors that model *protocol-level* outcomes (e.g. an
 IPC send timing out because the destination host crashed) are distinct
 from programming errors, which raise plain ``ValueError``/``TypeError``.
+
+Fault-path exceptions carry **structured context** in addition to their
+message: a failed Send knows its source/destination pids and how many
+retransmissions it burned, a failed migration knows its logical host,
+attempt number and source host.  Failure-injection tests assert on these
+fields instead of parsing strings, and the chaos campaign runner folds
+them into its verdict rows.
 """
+
+from typing import Optional
 
 
 class ReproError(Exception):
@@ -40,11 +49,53 @@ class IpcError(ReproError):
 
 class SendTimeoutError(IpcError):
     """A Send exhausted its retransmissions without any response --
-    the V kernel's signal that the destination host is down."""
+    the V kernel's signal that the destination host is down.
+
+    Structured context: ``src``/``dst`` (pids as strings), ``op``
+    (``send``/``copyto``/``copyfrom``), ``retransmissions`` burned and
+    whether the rebind fallback was already ``rebound`` when it failed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        src: Optional[str] = None,
+        dst: Optional[str] = None,
+        op: str = "send",
+        retransmissions: int = 0,
+        rebound: bool = False,
+    ):
+        super().__init__(message)
+        self.src = src
+        self.dst = dst
+        self.op = op
+        self.retransmissions = retransmissions
+        self.rebound = rebound
 
 
 class CopyFailedError(IpcError):
-    """A CopyTo/CopyFrom bulk transfer could not be completed."""
+    """A CopyTo/CopyFrom bulk transfer could not be completed.
+
+    Carries the same structured context as :class:`SendTimeoutError`.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        src: Optional[str] = None,
+        dst: Optional[str] = None,
+        op: str = "copyto",
+        retransmissions: int = 0,
+        rebound: bool = False,
+    ):
+        super().__init__(message)
+        self.src = src
+        self.dst = dst
+        self.op = op
+        self.retransmissions = retransmissions
+        self.rebound = rebound
 
 
 class ExecutionError(ReproError):
@@ -65,7 +116,24 @@ class DeviceAccessError(ExecutionError):
 
 
 class MigrationError(ReproError):
-    """A migration attempt failed."""
+    """A migration attempt failed.
+
+    Structured context: ``lhid`` of the victim logical host, the
+    ``host`` it was running on, and the 0-based ``attempt`` that failed.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        lhid: Optional[int] = None,
+        host: Optional[str] = None,
+        attempt: int = 0,
+    ):
+        super().__init__(message)
+        self.lhid = lhid
+        self.host = host
+        self.attempt = attempt
 
 
 class MigrationAbortedError(MigrationError):
@@ -76,3 +144,20 @@ class MigrationAbortedError(MigrationError):
 class NotMigratableError(MigrationError):
     """The logical host cannot be migrated (device bindings or it is a
     host-resident server)."""
+
+
+class InvariantViolation(ReproError):
+    """A system-wide invariant (see :mod:`repro.faults.invariants`) was
+    observed broken during a simulation.
+
+    Structured context: the ``invariant`` name, the simulated time
+    ``at_us``, and a free-form ``detail`` dict identifying the offending
+    object (pids, lhids, host names).
+    """
+
+    def __init__(self, message: str, *, invariant: str = "",
+                 at_us: int = 0, detail: Optional[dict] = None):
+        super().__init__(message)
+        self.invariant = invariant
+        self.at_us = at_us
+        self.detail = dict(detail or {})

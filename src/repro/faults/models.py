@@ -1,0 +1,260 @@
+"""Composable per-delivery fault models.
+
+:mod:`repro.net.loss` models answer one question -- drop or deliver --
+which is all the bus needed until now.  This module generalizes that
+into a *fault plane*: an ordered pipeline of models, each of which may
+mutate the :class:`DeliveryPlan` for one packet-to-one-receiver
+delivery.  A plan can drop the frame, fail its CRC (corruption: the
+receiving NIC discards it, indistinguishable from loss on the wire but
+counted separately), duplicate it, or delay it past later traffic
+(reordering).
+
+Determinism contract (the same one ``repro.net.loss`` promises): every
+model draws from its **own named stream** of the simulator's RNG family
+(:class:`repro.sim.random.RandomStreams`), whose seed depends only on
+``(master_seed, stream_name)``.  Enabling or disabling any model
+therefore never perturbs the draw sequence another stream sees --
+``tests/properties/test_fault_stream_isolation.py`` pins this.
+
+All injected-fault counts are mirrored into the unified metrics
+registry (``faults.dropped`` etc.) while ``sim.metrics`` is enabled.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.net.loss import LossModel
+from repro.net.packet import Packet
+
+
+class DeliveryPlan:
+    """The mutable verdict for one packet-to-one-receiver delivery.
+
+    Models run in pipeline order and may set:
+
+    * ``dropped`` -- the frame vanishes on the wire;
+    * ``corrupted`` -- the frame arrives but fails its checksum and is
+      discarded by the NIC (a distinct counter, same net effect);
+    * ``duplicates`` -- extra copies delivered ``dup_delay_us`` apart;
+    * ``delay_us`` -- extra latency before the (first) delivery, which
+      reorders it behind frames sent later.
+    """
+
+    __slots__ = ("dropped", "corrupted", "duplicates", "dup_delay_us",
+                 "delay_us")
+
+    def __init__(self) -> None:
+        self.dropped = False
+        self.corrupted = False
+        self.duplicates = 0
+        self.dup_delay_us = 0
+        self.delay_us = 0
+
+    @property
+    def discarded(self) -> bool:
+        """Whether the receiver never processes this frame."""
+        return self.dropped or self.corrupted
+
+
+class FaultModel:
+    """One composable fault source.  Subclasses draw only from their
+    configured stream and mutate the plan; they must not touch the
+    packet or the simulator state."""
+
+    #: The RNG stream this model draws from (set by subclasses).
+    stream = "faults"
+
+    def apply(self, sim, packet: Packet, plan: DeliveryPlan) -> None:
+        raise NotImplementedError
+
+
+class DropFault(FaultModel):
+    """Independent (Bernoulli) loss, per delivery."""
+
+    def __init__(self, rate: float, stream: str = "faults.drop"):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"drop rate {rate} outside [0, 1]")
+        self.rate = rate
+        self.stream = stream
+
+    def apply(self, sim, packet: Packet, plan: DeliveryPlan) -> None:
+        if not plan.discarded and sim.rand.chance(self.stream, self.rate):
+            plan.dropped = True
+
+
+class BurstDropFault(FaultModel):
+    """Gilbert-style two-state burst loss (see
+    :class:`repro.net.loss.BurstLoss`): correlated drop runs like a
+    congested or glitching segment."""
+
+    def __init__(
+        self,
+        p_good_to_bad: float = 0.01,
+        p_bad_to_good: float = 0.25,
+        stream: str = "faults.burst",
+    ):
+        for name, p in (("p_good_to_bad", p_good_to_bad),
+                        ("p_bad_to_good", p_bad_to_good)):
+            if not 0.0 <= p <= 1.0:
+                raise ValueError(f"{name}={p} outside [0, 1]")
+        self.p_good_to_bad = p_good_to_bad
+        self.p_bad_to_good = p_bad_to_good
+        self.stream = stream
+        self._bad = False
+
+    def apply(self, sim, packet: Packet, plan: DeliveryPlan) -> None:
+        if self._bad:
+            if sim.rand.chance(self.stream, self.p_bad_to_good):
+                self._bad = False
+        else:
+            if sim.rand.chance(self.stream, self.p_good_to_bad):
+                self._bad = True
+        if self._bad and not plan.discarded:
+            plan.dropped = True
+
+
+class DuplicateFault(FaultModel):
+    """Deliver an extra copy of the frame ``delay_us`` later.
+
+    The duplicate is a *bitwise* copy (same packet object, same
+    sequence numbers), so the transport's at-most-once machinery --
+    request dedup, retained replies, copy-run page idempotence -- is
+    what keeps the application from seeing it twice.
+    """
+
+    def __init__(self, rate: float, delay_us: int = 500,
+                 stream: str = "faults.dup"):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"duplicate rate {rate} outside [0, 1]")
+        self.rate = rate
+        self.delay_us = delay_us
+        self.stream = stream
+
+    def apply(self, sim, packet: Packet, plan: DeliveryPlan) -> None:
+        if not plan.discarded and sim.rand.chance(self.stream, self.rate):
+            plan.duplicates += 1
+            plan.dup_delay_us = self.delay_us
+
+
+class ReorderFault(FaultModel):
+    """Hold a frame back by a uniform random extra delay, letting frames
+    transmitted after it arrive first."""
+
+    def __init__(self, rate: float, max_delay_us: int = 5_000,
+                 stream: str = "faults.reorder"):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"reorder rate {rate} outside [0, 1]")
+        if max_delay_us < 1:
+            raise ValueError("reorder needs a positive max delay")
+        self.rate = rate
+        self.max_delay_us = max_delay_us
+        self.stream = stream
+
+    def apply(self, sim, packet: Packet, plan: DeliveryPlan) -> None:
+        if not plan.discarded and sim.rand.chance(self.stream, self.rate):
+            plan.delay_us += sim.rand.randint(self.stream, 1, self.max_delay_us)
+
+
+class CorruptFault(FaultModel):
+    """Flip bits on the wire: the frame arrives, fails the receiver's
+    checksum, and is discarded -- operationally a loss, but counted on
+    its own counter so campaigns can tell noise from congestion."""
+
+    def __init__(self, rate: float, stream: str = "faults.corrupt"):
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"corrupt rate {rate} outside [0, 1]")
+        self.rate = rate
+        self.stream = stream
+
+    def apply(self, sim, packet: Packet, plan: DeliveryPlan) -> None:
+        if not plan.discarded and sim.rand.chance(self.stream, self.rate):
+            plan.corrupted = True
+
+
+class LossAdapter(FaultModel):
+    """Wrap a legacy :class:`repro.net.loss.LossModel` as a pipeline
+    stage, so existing models compose with the new family."""
+
+    def __init__(self, loss: LossModel):
+        self.loss = loss
+        self.stream = getattr(loss, "stream", "net.loss")
+
+    def apply(self, sim, packet: Packet, plan: DeliveryPlan) -> None:
+        if self.loss.drops(sim, packet) and not plan.discarded:
+            plan.dropped = True
+
+
+class FaultPlane(LossModel):
+    """An ordered pipeline of fault models, installed on the Ethernet.
+
+    Also implements the legacy :class:`LossModel` interface (``drops``)
+    so a plane can be passed anywhere a loss model is accepted; used
+    that way, only the drop/corrupt verdict takes effect.
+    """
+
+    def __init__(self, models: Optional[List[FaultModel]] = None):
+        self.models: List[FaultModel] = list(models or [])
+        # Injected-fault counters, always on (plain ints).
+        self.dropped = 0
+        self.corrupted = 0
+        self.duplicated = 0
+        self.reordered = 0
+        self._metrics = None
+        self._instruments = ()
+
+    def add(self, model: FaultModel) -> "FaultPlane":
+        """Append a model to the pipeline; returns self for chaining."""
+        self.models.append(model)
+        return self
+
+    def bind_metrics(self, registry) -> None:
+        """Register the plane's obs instruments (called by the Ethernet
+        that installs the plane)."""
+        self._metrics = registry
+        self._instruments = (
+            registry.counter("faults.dropped"),
+            registry.counter("faults.corrupted"),
+            registry.counter("faults.duplicated"),
+            registry.counter("faults.reordered"),
+        )
+
+    def plan(self, sim, packet: Packet) -> DeliveryPlan:
+        """Run the pipeline for one delivery and account the outcome."""
+        plan = DeliveryPlan()
+        for model in self.models:
+            model.apply(sim, packet, plan)
+        m = self._metrics
+        active = m is not None and m.active
+        if plan.dropped:
+            self.dropped += 1
+            if active:
+                self._instruments[0].inc()
+        elif plan.corrupted:
+            self.corrupted += 1
+            if active:
+                self._instruments[1].inc()
+        else:
+            if plan.duplicates:
+                self.duplicated += plan.duplicates
+                if active:
+                    self._instruments[2].inc(plan.duplicates)
+            if plan.delay_us:
+                self.reordered += 1
+                if active:
+                    self._instruments[3].inc()
+        return plan
+
+    # ---- legacy LossModel interface
+
+    def drops(self, sim, packet: Packet) -> bool:
+        return self.plan(sim, packet).discarded
+
+    def stats(self) -> dict:
+        """Injected-fault counters for reports and campaign verdicts."""
+        return {
+            "dropped": self.dropped,
+            "corrupted": self.corrupted,
+            "duplicated": self.duplicated,
+            "reordered": self.reordered,
+        }

@@ -43,6 +43,12 @@ class BindingCache:
         self.fast_misses = 0
         #: Bumped on every event that can change a resolution result.
         self.epoch = 0
+        #: Rebinding kill switch (test hook, paired with
+        #: ``Transport.rebind_enabled``): with False, :meth:`learn` will
+        #: insert missing bindings but never *move* an existing one, so
+        #: a stale entry stays stale -- the broken-cache configuration
+        #: the no-residual-dependency invariant must catch.
+        self.refresh_enabled = True
         self._metrics = None
         self._m_hits = None
         self._m_misses = None
@@ -90,6 +96,8 @@ class BindingCache:
         source fields or a query response."""
         entry = self._entries.get(lhid)
         if entry is None or entry[0] != address:
+            if entry is not None and not self.refresh_enabled:
+                return  # broken-rebinding mode: the stale entry wins
             # The mapping actually moved: stale memoized routes must die.
             # A same-address refresh keeps the epoch (it changes nothing a
             # route depends on), which is what keeps the memo effective --
@@ -103,6 +111,24 @@ class BindingCache:
             del self._entries[lhid]
             self.invalidations += 1
             self.epoch += 1
+
+    def invalidate_address(self, address: HostAddress) -> int:
+        """Drop every binding that points at one physical host.  Used by
+        the cluster supervisor when it declares a machine crashed: any
+        logical host last seen there must re-resolve (and will land on
+        its new home, or time out if it died with the machine).  Returns
+        the number of bindings scrubbed."""
+        stale = [
+            lhid
+            for lhid, (addr, _) in self._entries.items()
+            if addr == address
+        ]
+        for lhid in stale:
+            del self._entries[lhid]
+        if stale:
+            self.invalidations += len(stale)
+            self.epoch += 1
+        return len(stale)
 
     def note_topology_change(self) -> None:
         """The owning kernel started or stopped hosting a logical host

@@ -158,6 +158,11 @@ class Transport:
         self._pending_reply: Dict[Tuple[Pid, Pid], List[ServerRecord]] = {}
         #: Bulk-transfer engine (CopyTo/CopyFrom streams + recovery).
         self.copies = CopyEngine(self)
+        #: Lazy-rebinding kill switch (test hook): with False, exhausted
+        #: retries and nak-moved packets neither invalidate the binding
+        #: cache nor re-resolve -- the intentionally-broken configuration
+        #: that must trip the no-residual-dependency invariant.
+        self.rebind_enabled = True
         nic.install_handler(self.on_packet)
         # ---- fast paths (see repro._fastpath; None = disabled)
         #: packet kind -> bound handler, built lazily; replaces a
@@ -278,12 +283,25 @@ class Transport:
     def _record_interval(self, record: ClientRecord) -> int:
         """Retransmission interval for a record: the base interval, plus
         the full stream time for bulk copies (so a long copy is not
-        restarted while still in flight)."""
+        restarted while still in flight).  With
+        ``model.retransmit_backoff > 1`` the interval grows
+        exponentially with each burned attempt, capped at
+        ``model.retransmit_backoff_cap_us`` -- so retry storms back off
+        a lossy segment instead of saturating it."""
         stream_pages = max(len(record.pages), len(record.indexes))
         page_us = self._page_copy_us
         if page_us is None:
             page_us = self.model.bulk_copy_us(PAGE_SIZE)
-        return self.model.retransmit_interval_us + page_us * stream_pages
+        interval = self.model.retransmit_interval_us + page_us * stream_pages
+        factor = self.model.retransmit_backoff
+        if factor > 1.0:
+            attempt = self.model.max_retransmissions - record.retries_left
+            if attempt > 0:
+                interval = min(
+                    int(interval * factor ** attempt),
+                    max(interval, self.model.retransmit_backoff_cap_us),
+                )
+        return interval
 
     def _transmit(self, record: ClientRecord) -> None:
         """Send (or re-send) the request for a client record."""
@@ -383,7 +401,11 @@ class Transport:
         if record.key not in self._clients:
             return  # migrated away or cancelled
         if record.retries_left <= 0:
-            if not record.used_rebind_fallback and not record.is_group:
+            if (
+                not record.used_rebind_fallback
+                and not record.is_group
+                and self.rebind_enabled
+            ):
                 # Paper §3.1.4: after a small number of retransmissions,
                 # invalidate the cache entry and re-resolve by broadcast.
                 record.used_rebind_fallback = True
@@ -407,12 +429,22 @@ class Transport:
         )
 
     def _timeout_error(self, record: ClientRecord):
+        context = dict(
+            src=str(record.src_pid),
+            dst=str(record.dst),
+            op=record.op,
+            retransmissions=self.model.max_retransmissions
+            - max(0, record.retries_left),
+            rebound=record.used_rebind_fallback,
+        )
         if record.op == "send":
             return SendTimeoutError(
-                f"send {record.src_pid} -> {record.dst} got no response"
+                f"send {record.src_pid} -> {record.dst} got no response",
+                **context,
             )
         return CopyFailedError(
-            f"{record.op} {record.src_pid} -> {record.dst} got no acknowledgement"
+            f"{record.op} {record.src_pid} -> {record.dst} got no acknowledgement",
+            **context,
         )
 
     def _fail_client(self, record: ClientRecord, error: Exception) -> None:
@@ -538,6 +570,9 @@ class Transport:
         """Map an addressed pid to a local PCB, or NAK and return None."""
         lhid = dst.logical_host_id
         if not self.kernel.hosts_lhid(lhid):
+            invariants = self.sim.invariants
+            if invariants is not None:
+                invariants.note_stale_request(lhid, self.kernel.name, self.sim.now)
             self._send_nak("nak-moved", src, seq, dst, origin_addr)
             return None
         if is_wellknown_local_group(dst):
@@ -578,6 +613,11 @@ class Transport:
         self._pending_push(record)
         if pcb.state is ProcessState.RECEIVING:
             record.mark_received()
+            invariants = self.sim.invariants
+            if invariants is not None:
+                invariants.note_request_delivered(
+                    record.sender, record.seq, record.recipient
+                )
             pcb.messages_received += 1
             self.kernel.scheduler.make_ready(pcb, (src, record.message))
         else:
@@ -655,6 +695,8 @@ class Transport:
         record = self._clients.get((payload["src"], payload["seq"]))
         if record is None or record.completed:
             return
+        if not self.rebind_enabled:
+            return  # broken-rebinding test mode: keep using the stale route
         lhid = record.dst.logical_host_id
         self.cache.invalidate(lhid)
         self.rebinds += 1
@@ -1020,6 +1062,11 @@ class Transport:
             return
         record = pcb.msg_queue.pop(0)
         record.mark_received()
+        invariants = self.sim.invariants
+        if invariants is not None:
+            invariants.note_request_delivered(
+                record.sender, record.seq, record.recipient
+            )
         pcb.messages_received += 1
         self.kernel.scheduler.make_ready(pcb, (record.sender, record.message))
 

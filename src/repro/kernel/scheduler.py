@@ -386,6 +386,11 @@ class Scheduler:
             if pcb.msg_queue:
                 record = pcb.msg_queue.pop(0)
                 record.mark_received()
+                invariants = self.sim.invariants
+                if invariants is not None:
+                    invariants.note_request_delivered(
+                        record.sender, record.seq, record.recipient
+                    )
                 pcb.messages_received += 1
                 pcb.resume_value = (record.sender, record.message)
                 self.sim.schedule(charge, self._execute, pcb)

@@ -26,7 +26,7 @@ from repro.kernel.ids import (
 )
 from repro.kernel.kernel_server import reprocess_deferred
 from repro.kernel.logical_host import LogicalHost
-from repro.kernel.process import Send
+from repro.kernel.process import Delay, Send
 from repro.migration.precopy import PrecopyPolicy, final_copy, precopy_space
 from repro.migration.stats import MigrationStats
 from repro.migration.transfer import (
@@ -44,6 +44,7 @@ def run_migration(
     dest_pm: Optional[Pid] = None,
     destroy_if_stranded: bool = False,
     max_attempts: int = 1,
+    retry_backoff_us: int = 0,
 ):
     """Migrate ``lh`` off this workstation.  Generator: run inside a
     process body with ``stats = yield from run_migration(...)``.
@@ -51,7 +52,11 @@ def run_migration(
     ``dest_pm`` pins the destination (for experiments); otherwise the
     program-manager group is asked and the first responder wins.
     ``destroy_if_stranded`` is the ``migrateprog -n`` flag: destroy the
-    program when no other host will take it.
+    program when no other host will take it.  A failed attempt always
+    leaves the source copy running (abort + rollback); with
+    ``max_attempts > 1`` further attempts follow, spaced by
+    ``retry_backoff_us`` doubling per retry (capped at 8x) so a sick
+    destination or lossy network is not hammered back-to-back.
     """
     sim = kernel.sim
     policy = policy or PrecopyPolicy.from_model(kernel.model)
@@ -60,6 +65,13 @@ def run_migration(
     stats.n_spaces = len(lh.spaces)
 
     for attempt in range(max_attempts):
+        stats.attempts = attempt + 1
+        if attempt and retry_backoff_us:
+            yield Delay(min(retry_backoff_us << (attempt - 1),
+                            retry_backoff_us * 8))
+            if not _lh_alive(kernel, lh):
+                stats.error = "program exited during migration"
+                break
         trace = sim.trace
         root_span = 0
         if trace.active:
@@ -214,7 +226,9 @@ def _attempt(kernel, lh, policy, dest_pm, stats, sim, root_span=0):
                     "migration", "residual-copy", parent=freeze_span,
                     host=kernel.name, lhid=lh.lhid, space=space.name,
                 )
-            copied = yield from final_copy(space, target, residuals[ordinal], stats)
+            copied = yield from final_copy(
+                space, target, residuals[ordinal], stats, sim
+            )
             if residual_span:
                 trace.end_span(residual_span, pages=copied)
         bundle = extract_bundle(kernel, lh)
@@ -254,6 +268,9 @@ def _attempt(kernel, lh, policy, dest_pm, stats, sim, root_span=0):
         )
     if kernel.logical_hosts.get(lh.lhid) is lh:
         kernel.destroy_logical_host(lh, migrated=True)
+        invariants = sim.invariants
+        if invariants is not None:
+            invariants.note_migration_commit(lh.lhid, kernel.name, sim.now)
     if rebind_span:
         trace.end_span(rebind_span)
     if sim.trace.active:
@@ -274,6 +291,7 @@ def migration_manager_body(pm, lh: LogicalHost, token: int, request: Message):
         destroy_if_stranded=request.get("destroy_if_stranded", False),
         dest_pm=request.get("dest_pm"),
         max_attempts=request.get("max_attempts", 1),
+        retry_backoff_us=request.get("retry_backoff_us", 0),
     )
     yield Send(
         pm.pcb.pid,

@@ -79,6 +79,7 @@ def precopy_space(
     # are O(dirty) mask operations, so the simulator's own cost per round
     # tracks the pages actually recopied, not the space size.
     trace = sim.trace
+    invariants = sim.invariants
     space.collect_dirty()
     started = sim.now
     span = 0
@@ -87,6 +88,8 @@ def precopy_space(
             "migration", "precopy-round", parent=parent_span,
             space=space.name, round=0, pages=len(space.pages),
         )
+    if invariants is not None:
+        invariants.note_page_versions(space, space.pages)
     yield CopyToInstr(target, space.pages)
     if span:
         trace.end_span(span)
@@ -106,6 +109,8 @@ def precopy_space(
                 "migration", "precopy-round", parent=parent_span,
                 space=space.name, round=len(stats.rounds), pages=len(dirty),
             )
+        if invariants is not None:
+            invariants.note_page_versions(space, dirty)
         yield CopyToInstr(target, dirty)
         if span:
             trace.end_span(span)
@@ -118,6 +123,7 @@ def final_copy(
     target: Pid,
     residual: List[Page],
     stats: MigrationStats,
+    sim=None,
 ):
     """Copy the frozen residual: the carried-over dirty pages plus any
     dirtied between the last scan and the freeze (there can be no new
@@ -127,6 +133,8 @@ def final_copy(
         merged[page.index] = page
     pages = [merged[i] for i in sorted(merged)]
     if pages:
+        if sim is not None and sim.invariants is not None:
+            sim.invariants.note_page_versions(space, pages)
         yield CopyToInstr(target, pages)
     stats.residual_pages += len(pages)
     return len(pages)

@@ -48,6 +48,9 @@ class MigrationStats:
     success: bool = False
     dest_host: Optional[str] = None
     error: Optional[str] = None
+    #: Migration attempts made (1 on a first-try success; counts aborted
+    #: + rolled-back tries when a retry budget is configured).
+    attempts: int = 0
 
     @property
     def residual_bytes(self) -> int:

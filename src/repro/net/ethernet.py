@@ -45,10 +45,16 @@ class Ethernet:
         sim,
         model: HardwareModel = DEFAULT_MODEL,
         loss: Optional[LossModel] = None,
+        faults=None,
     ):
         self.sim = sim
         self.model = model
         self.loss = loss if loss is not None else NoLoss()
+        #: Optional :class:`repro.faults.models.FaultPlane`; None (the
+        #: default) keeps the delivery path on the one-branch loss check.
+        self.faults = faults
+        if faults is not None:
+            faults.bind_metrics(sim.metrics)
         self._nics: Dict[HostAddress, "Nic"] = {}
         #: NICs in deterministic (address-sorted) delivery order, rebuilt
         #: lazily after attach/detach so broadcast delivery does not
@@ -168,26 +174,68 @@ class Ethernet:
             nic = self._nics.get(packet.dst)
             targets = [nic] if nic is not None else []
         trace = self.sim.trace
+        faults = self.faults
         for nic in targets:
-            if self.loss.drops(self.sim, packet):
-                self.packets_dropped += 1
-                if self.metrics.active:
-                    drop = self._m_drops.get(nic.address)
-                    if drop is None:
-                        drop = self._m_drops[nic.address] = self.metrics.counter(
-                            "net.drops", str(nic.address)
-                        )
-                    drop.inc()
-                if trace.active:
-                    trace.record(
-                        "net", "drop", packet_id=packet.packet_id, dst=str(nic.address),
-                    )
+            if faults is not None:
+                if self._deliver_with_faults(faults, packet, nic, trace):
+                    continue
+            elif self.loss.drops(self.sim, packet):
+                self._count_drop(packet, nic, trace)
                 continue
             nic.receive(packet)
         # Recycle unless a receiver kept the frame (a scheduled handler,
         # a test's capture list, ...); held=1 accounts for the fired
         # timer's args tuple the run loop still references.
         self.pool.release(packet, held=1)
+
+    def _count_drop(self, packet: Packet, nic, trace) -> None:
+        self.packets_dropped += 1
+        if self.metrics.active:
+            drop = self._m_drops.get(nic.address)
+            if drop is None:
+                drop = self._m_drops[nic.address] = self.metrics.counter(
+                    "net.drops", str(nic.address)
+                )
+            drop.inc()
+        if trace.active:
+            trace.record(
+                "net", "drop", packet_id=packet.packet_id, dst=str(nic.address),
+            )
+
+    def _deliver_with_faults(self, faults, packet: Packet, nic, trace) -> bool:
+        """Apply the fault plane's plan for one delivery.  Returns True
+        when the caller must NOT deliver the frame inline (discarded or
+        deferred); duplicate and delayed copies are scheduled here, and
+        the frames they reference stay alive through the timers' args
+        (the refcount-guarded pool never recycles a held packet)."""
+        plan = faults.plan(self.sim, packet)
+        if plan.dropped or plan.corrupted:
+            self._count_drop(packet, nic, trace)
+            if plan.corrupted and trace.active:
+                trace.record(
+                    "net", "corrupt", packet_id=packet.packet_id,
+                    dst=str(nic.address),
+                )
+            return True
+        for copy in range(plan.duplicates):
+            self.sim.schedule(
+                plan.delay_us + (copy + 1) * max(1, plan.dup_delay_us),
+                nic.receive, packet,
+            )
+            if trace.active:
+                trace.record(
+                    "net", "duplicate", packet_id=packet.packet_id,
+                    dst=str(nic.address),
+                )
+        if plan.delay_us:
+            if trace.active:
+                trace.record(
+                    "net", "reorder", packet_id=packet.packet_id,
+                    dst=str(nic.address), delay_us=plan.delay_us,
+                )
+            self.sim.schedule(plan.delay_us, nic.receive, packet)
+            return True
+        return False
 
     # ------------------------------------------- receive-processing batching
 

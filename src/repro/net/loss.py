@@ -2,7 +2,13 @@
 
 The bus asks its loss model about every packet (per receiver).  Models
 draw from a named stream of the simulator's RNG family, so runs stay
-reproducible and adding a model never perturbs other streams.
+reproducible and adding a model never perturbs other streams (pinned by
+``tests/properties/test_fault_stream_isolation.py``).
+
+These two original models answer only drop-or-deliver; the richer
+composable family -- burst loss, duplication, reordering, corruption,
+crash schedules -- lives in :mod:`repro.faults.models` and plugs into
+the same bus via ``Ethernet(faults=...)``.
 """
 
 from __future__ import annotations

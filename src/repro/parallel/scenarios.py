@@ -208,3 +208,10 @@ def ping_scenario(
         "completed": len(replies),
         "pm": replies[-1] if replies else None,
     }, collect_metrics)
+
+
+# The chaos scenario registers itself on import; importing it here makes
+# it visible in every sweep worker (they import this module).  The
+# import must stay at the bottom: repro.faults.campaign imports
+# ``register_scenario`` from this module at its own import time.
+import repro.faults.campaign  # noqa: E402,F401  (registration side effect)

@@ -90,6 +90,13 @@ class Simulator:
         #: Installed by repro.obs.profiler.SelfProfiler; None = no
         #: per-event wall-clock accounting (the zero-cost default).
         self._profiler = None
+        #: Installed by repro.faults.invariants.InvariantChecker; None
+        #: (the default) costs one attribute load + branch per event,
+        #: exactly like the tracer/metrics guards.  When set, its
+        #: ``after_event(sim)`` runs after every processed event and its
+        #: ``note_*`` hooks are consulted by the transport, kernel and
+        #: migration manager.
+        self.invariants = None
         self.failures: List[TaskFailed] = []
         #: When True (default), :meth:`run` raises the first task failure
         #: it encounters.  Fault-injection tests set this False and
@@ -255,6 +262,9 @@ class Simulator:
                     started = perf_counter()
                     fn(*args)
                     profiler._account(fn, perf_counter() - started)
+                invariants = self.invariants
+                if invariants is not None:
+                    invariants.after_event(self)
                 # A callback may have triggered a compaction through
                 # peek(), which rebuilds self._heap into a new list; a
                 # stale local here would keep draining the old one while

@@ -1,0 +1,158 @@
+"""The chaos campaign's acceptance contract.
+
+* Replay determinism: the same (schedule, seed) grid produces a
+  byte-identical payload and verdict table whether it ran serially or
+  across worker processes (the sweep engine's guarantee, inherited).
+* Under every fault schedule, all four invariants hold.
+* The intentionally-broken configuration (lazy rebinding disabled)
+  *must* trip no-residual-dependency -- proof the harness can actually
+  see the class of bug it exists for.
+"""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.faults.campaign import (
+    FAULT_SCHEDULES,
+    build_fault_plane,
+    campaign_ok,
+    campaign_spec,
+    chaos_scenario,
+    run_campaign,
+    schedule_names,
+    verdict_table,
+)
+from repro.faults.invariants import INVARIANTS
+from repro.faults.models import (
+    BurstDropFault,
+    CorruptFault,
+    DropFault,
+    DuplicateFault,
+    ReorderFault,
+)
+from repro.parallel import scenario_names
+
+
+class TestScheduleRegistry:
+    def test_chaos_is_a_registered_scenario(self):
+        assert "chaos" in scenario_names()
+
+    def test_schedule_names_sorted_and_complete(self):
+        assert schedule_names() == sorted(FAULT_SCHEDULES)
+        # The acceptance bar: at least 5 distinct fault types swept.
+        assert len(FAULT_SCHEDULES) >= 5
+
+    def test_fault_plane_pipeline_order_is_fixed(self):
+        plane = build_fault_plane({
+            "corrupt": 0.1, "drop": 0.1, "reorder": 0.1,
+            "duplicate": 0.1, "burst": (0.1, 0.5),
+        })
+        assert [type(m) for m in plane.models] == [
+            DropFault, BurstDropFault, DuplicateFault, ReorderFault,
+            CorruptFault,
+        ]
+
+    def test_unknown_schedule_rejected_by_scenario(self):
+        with pytest.raises(SimulationError, match="unknown fault schedule"):
+            chaos_scenario({"schedule": "gremlins"}, seed=0)
+
+    def test_unknown_schedule_rejected_by_spec(self):
+        with pytest.raises(SimulationError, match="unknown fault schedule"):
+            campaign_spec(schedules=["drop", "gremlins"])
+
+
+class TestReplayDeterminism:
+    def test_serial_and_parallel_runs_are_byte_identical(self):
+        kwargs = dict(schedules=["drop", "crash"], seeds=3, master_seed=11,
+                      messages=12)
+        serial = run_campaign(workers=1, **kwargs)
+        parallel = run_campaign(workers=2, **kwargs)
+        assert parallel.workers_used == 2
+        assert serial.to_json() == parallel.to_json()
+        assert verdict_table(serial) == verdict_table(parallel)
+
+    def test_same_seed_replays_identically(self):
+        a = chaos_scenario({"schedule": "mixed", "messages": 10}, seed=5)
+        b = chaos_scenario({"schedule": "mixed", "messages": 10}, seed=5)
+        assert a == b
+
+    def test_distinct_seeds_give_distinct_trajectories(self):
+        runs = {
+            (r["events"], r["packets"], tuple(sorted(r["faults"].items())))
+            for r in (
+                chaos_scenario({"schedule": "mixed", "messages": 10}, seed=s)
+                for s in range(4)
+            )
+        }
+        assert len(runs) > 1
+
+
+class TestInvariantsHoldUnderEverySchedule:
+    def test_all_schedules_all_seeds_pass(self):
+        result = run_campaign(seeds=2, master_seed=3, messages=15)
+        assert campaign_ok(result)
+        for row in result.rows:
+            for run in row:
+                assert run["invariants"] == {name: 0 for name in INVARIANTS}
+                assert run["invariants_ok"]
+                # The harness actually watched the run.
+                assert run["deliveries_checked"] > 0
+                assert run["events_checked"] > 0
+
+    def test_every_schedule_actually_injects_faults(self):
+        result = run_campaign(seeds=2, master_seed=3, messages=15)
+        for ci, config in enumerate(result.spec.configs):
+            injected = sum(
+                sum(run["faults"].values()) for run in result.rows[ci]
+            )
+            assert injected > 0, (
+                f"schedule {config['schedule']!r} injected no faults -- "
+                "the campaign is not stressing anything"
+            )
+
+    def test_crash_schedule_crashes_reboots_and_evicts(self):
+        run = chaos_scenario({"schedule": "crash", "messages": 10}, seed=1)
+        kinds = [kind for _, _, kind in run["crash_log"]]
+        assert kinds == ["crash", "reboot"]
+        assert run["evictions"] >= 1
+        assert run["bindings_scrubbed"] >= 0
+        assert run["invariants_ok"]
+
+
+class TestBrokenRebindingIsCaught:
+    """Disable lazy rebinding entirely and the campaign must FAIL
+    no-residual-dependency: stale senders keep hitting the old host
+    long after the migration committed."""
+
+    CONFIG = {"schedule": "drop", "messages": 20}
+
+    def test_broken_mode_trips_no_residual_dependency(self):
+        run = chaos_scenario(dict(self.CONFIG, break_rebinding=True), seed=42)
+        assert run["migration"] and run["migration"]["success"]
+        assert run["invariants"]["no-residual-dependency"] > 0
+        assert not run["invariants_ok"]
+
+    def test_control_run_is_clean(self):
+        run = chaos_scenario(self.CONFIG, seed=42)
+        assert run["invariants"] == {name: 0 for name in INVARIANTS}
+        assert run["invariants_ok"]
+        assert run["completed"] == run["messages"]
+
+    def test_campaign_verdict_goes_fail(self):
+        result = run_campaign(schedules=["drop"], seeds=2, master_seed=0,
+                              messages=20, break_rebinding=True)
+        assert not campaign_ok(result)
+        table = verdict_table(result)
+        assert "FAIL" in table and "PASS" not in table
+
+
+class TestVerdictTable:
+    def test_table_lists_every_schedule_and_invariant(self):
+        result = run_campaign(schedules=["drop", "reorder"], seeds=2,
+                              master_seed=7, messages=10)
+        table = verdict_table(result)
+        for name in INVARIANTS:
+            assert name in table
+        assert "drop" in table and "reorder" in table
+        assert table.strip().endswith("(0 violation(s))")
+        assert "verdict: PASS" in table

@@ -1,0 +1,135 @@
+"""Structured context on fault-path exceptions.
+
+Failure tests assert on fields, not message substrings: a timed-out
+Send knows who was talking to whom, which operation, how many
+retransmissions it burned, and whether the rebind fallback had already
+been tried."""
+
+import pytest
+
+from repro.errors import (
+    CopyFailedError,
+    InvariantViolation,
+    IpcError,
+    MigrationError,
+    ReproError,
+    SendTimeoutError,
+)
+from repro.ipc import Message
+from repro.kernel import CopyToInstr, Delay, Send
+from repro.kernel.ids import local_kernel_server_group
+
+from tests.helpers import BareCluster
+
+
+def _idle():
+    yield Delay(600_000_000)
+
+
+class TestSendTimeoutContext:
+    def _timeout_against_crashed_host(self, rebind_enabled=True):
+        cluster = BareCluster(n=2)
+        a, b = cluster.stations
+        a.kernel.ipc.rebind_enabled = rebind_enabled
+        dst_lh, dst_pcb = cluster.spawn_program(b, _idle(), name="dst")
+        caught = []
+
+        def client():
+            # Prime the binding, then crash the destination.
+            yield Send(local_kernel_server_group(dst_lh.lhid),
+                       Message("get-time"))
+            b.crash()
+            try:
+                yield Send(dst_pcb.pid, Message("ping"))
+            except SendTimeoutError as exc:
+                caught.append(exc)
+
+        _, client_pcb = cluster.spawn_program(a, client(), name="client")
+        cluster.run(until_us=120_000_000)
+        assert len(caught) == 1
+        return cluster, client_pcb, dst_pcb, caught[0]
+
+    def test_timeout_carries_src_dst_op_and_retransmissions(self):
+        cluster, client_pcb, dst_pcb, exc = \
+            self._timeout_against_crashed_host()
+        assert exc.op == "send"
+        assert exc.src == str(client_pcb.pid)
+        assert exc.dst == str(dst_pcb.pid)
+        assert exc.retransmissions == cluster.model.max_retransmissions
+        # The paper's §3.1.4 fallback ran (and also got no answer).
+        assert exc.rebound is True
+
+    def test_timeout_with_rebinding_disabled_reports_rebound_false(self):
+        _, _, _, exc = self._timeout_against_crashed_host(
+            rebind_enabled=False
+        )
+        assert exc.rebound is False
+        assert exc.retransmissions > 0
+
+
+class TestCopyFailedContext:
+    def test_copyto_to_crashed_host_carries_context(self):
+        from repro.config import PAGE_SIZE
+
+        cluster = BareCluster(n=2)
+        a, b = cluster.stations
+        dst_lh, dst_pcb = cluster.spawn_program(
+            b, _idle(), space_bytes=PAGE_SIZE * 4, name="dst"
+        )
+        src_lh = a.kernel.create_logical_host()
+        src_space = a.kernel.allocate_space(src_lh, PAGE_SIZE * 4,
+                                            name="src")
+        caught = []
+
+        def copier():
+            yield Send(local_kernel_server_group(dst_lh.lhid),
+                       Message("get-time"))
+            b.crash()
+            try:
+                yield CopyToInstr(dst_pcb.pid, src_space.pages)
+            except CopyFailedError as exc:
+                caught.append(exc)
+
+        cluster.spawn_program(a, copier(), lh=src_lh, name="copier")
+        cluster.run(until_us=120_000_000)
+        assert len(caught) == 1
+        exc = caught[0]
+        assert exc.op == "copyto"
+        assert exc.dst == str(dst_pcb.pid)
+        assert exc.retransmissions > 0
+
+
+class TestConstructionAndHierarchy:
+    def test_send_timeout_defaults(self):
+        exc = SendTimeoutError("boom")
+        assert exc.op == "send"
+        assert exc.src is None and exc.dst is None
+        assert exc.retransmissions == 0
+        assert exc.rebound is False
+
+    def test_copy_failed_defaults_to_copyto(self):
+        assert CopyFailedError("boom").op == "copyto"
+
+    def test_migration_error_context(self):
+        exc = MigrationError("no luck", lhid=0x40, host="ws1", attempt=2)
+        assert exc.lhid == 0x40
+        assert exc.host == "ws1"
+        assert exc.attempt == 2
+
+    def test_invariant_violation_copies_its_detail(self):
+        detail = {"lhid": 5}
+        exc = InvariantViolation("bad", invariant="at-most-once",
+                                 at_us=99, detail=detail)
+        detail["lhid"] = 6  # caller mutation must not alias through
+        assert exc.detail == {"lhid": 5}
+        assert exc.invariant == "at-most-once"
+        assert exc.at_us == 99
+
+    @pytest.mark.parametrize("exc_type", [
+        SendTimeoutError, CopyFailedError, MigrationError,
+        InvariantViolation,
+    ])
+    def test_fault_exceptions_are_repro_errors(self, exc_type):
+        assert issubclass(exc_type, ReproError)
+        if exc_type in (SendTimeoutError, CopyFailedError):
+            assert issubclass(exc_type, IpcError)

@@ -1,0 +1,165 @@
+"""Unit tests for the composable fault models and the fault plane."""
+
+import pytest
+
+from repro.faults.models import (
+    BurstDropFault,
+    CorruptFault,
+    DeliveryPlan,
+    DropFault,
+    DuplicateFault,
+    FaultPlane,
+    LossAdapter,
+    ReorderFault,
+)
+from repro.net.loss import BernoulliLoss
+from repro.sim import Simulator
+
+
+def _plan_once(sim, *models):
+    plane = FaultPlane(list(models))
+    return plane.plan(sim, packet=None), plane
+
+
+class TestDeliveryPlan:
+    def test_fresh_plan_delivers(self):
+        plan = DeliveryPlan()
+        assert not plan.dropped
+        assert not plan.corrupted
+        assert plan.duplicates == 0
+        assert plan.delay_us == 0
+        assert not plan.discarded
+
+    def test_discarded_is_drop_or_corrupt(self):
+        plan = DeliveryPlan()
+        plan.dropped = True
+        assert plan.discarded
+        plan = DeliveryPlan()
+        plan.corrupted = True
+        assert plan.discarded
+
+
+class TestRateValidation:
+    @pytest.mark.parametrize("factory", [
+        lambda: DropFault(-0.1),
+        lambda: DropFault(1.5),
+        lambda: DuplicateFault(2.0),
+        lambda: ReorderFault(-1.0),
+        lambda: CorruptFault(1.01),
+        lambda: BurstDropFault(p_good_to_bad=3.0),
+        lambda: BurstDropFault(p_bad_to_good=-0.5),
+    ])
+    def test_rates_outside_unit_interval_rejected(self, factory):
+        with pytest.raises(ValueError):
+            factory()
+
+    def test_reorder_needs_positive_delay(self):
+        with pytest.raises(ValueError):
+            ReorderFault(0.5, max_delay_us=0)
+
+
+class TestIndividualModels:
+    def test_drop_rate_one_always_drops(self):
+        sim = Simulator(seed=1)
+        plan, plane = _plan_once(sim, DropFault(1.0))
+        assert plan.dropped and plan.discarded
+        assert plane.stats()["dropped"] == 1
+
+    def test_drop_rate_zero_never_drops(self):
+        sim = Simulator(seed=1)
+        for _ in range(50):
+            plan, _ = _plan_once(sim, DropFault(0.0))
+            assert not plan.discarded
+
+    def test_corrupt_counted_separately_from_drop(self):
+        sim = Simulator(seed=1)
+        plan, plane = _plan_once(sim, CorruptFault(1.0))
+        assert plan.corrupted and not plan.dropped
+        assert plan.discarded  # NIC discards a bad-checksum frame
+        stats = plane.stats()
+        assert stats["corrupted"] == 1
+        assert stats["dropped"] == 0
+
+    def test_duplicate_sets_copy_and_delay(self):
+        sim = Simulator(seed=1)
+        plan, plane = _plan_once(sim, DuplicateFault(1.0, delay_us=700))
+        assert plan.duplicates == 1
+        assert plan.dup_delay_us == 700
+        assert not plan.discarded
+        assert plane.stats()["duplicated"] == 1
+
+    def test_reorder_delay_bounded(self):
+        sim = Simulator(seed=3)
+        for _ in range(30):
+            plan, _ = _plan_once(sim, ReorderFault(1.0, max_delay_us=2_000))
+            assert 1 <= plan.delay_us <= 2_000
+
+    def test_burst_drops_are_correlated_runs(self):
+        # Force the chain into the bad state and keep it there: every
+        # delivery after the first transition is dropped.
+        sim = Simulator(seed=1)
+        model = BurstDropFault(p_good_to_bad=1.0, p_bad_to_good=0.0)
+        plane = FaultPlane([model])
+        verdicts = [plane.plan(sim, packet=None).dropped for _ in range(10)]
+        assert all(verdicts)
+
+    def test_burst_recovers(self):
+        sim = Simulator(seed=1)
+        model = BurstDropFault(p_good_to_bad=0.0, p_bad_to_good=1.0)
+        model._bad = True  # start mid-burst
+        plane = FaultPlane([model])
+        assert not plane.plan(sim, packet=None).dropped
+
+
+class TestPipelineComposition:
+    def test_models_skip_already_discarded_frames(self):
+        # A dropped frame cannot also be duplicated/reordered/corrupted.
+        sim = Simulator(seed=1)
+        plan, plane = _plan_once(
+            sim, DropFault(1.0), DuplicateFault(1.0), ReorderFault(1.0),
+            CorruptFault(1.0),
+        )
+        assert plan.dropped
+        assert plan.duplicates == 0
+        assert plan.delay_us == 0
+        assert not plan.corrupted
+        stats = plane.stats()
+        assert stats == {"dropped": 1, "corrupted": 0, "duplicated": 0,
+                         "reordered": 0}
+
+    def test_add_returns_self_for_chaining(self):
+        plane = FaultPlane()
+        assert plane.add(DropFault(0.1)).add(CorruptFault(0.1)) is plane
+        assert len(plane.models) == 2
+
+    def test_legacy_drops_interface_matches_plan(self):
+        sim_a = Simulator(seed=7)
+        sim_b = Simulator(seed=7)
+        plane_a = FaultPlane([DropFault(0.3), CorruptFault(0.2)])
+        plane_b = FaultPlane([DropFault(0.3), CorruptFault(0.2)])
+        for _ in range(100):
+            assert plane_a.drops(sim_a, None) == \
+                plane_b.plan(sim_b, None).discarded
+
+    def test_loss_adapter_wraps_legacy_model(self):
+        sim = Simulator(seed=1)
+        plan, plane = _plan_once(sim, LossAdapter(BernoulliLoss(1.0)))
+        assert plan.dropped
+        assert plane.stats()["dropped"] == 1
+
+    def test_counters_accumulate_without_metrics(self):
+        # The plain-int counters are always on, registry or not.
+        sim = Simulator(seed=5)
+        plane = FaultPlane([DropFault(0.5)])
+        n = 200
+        for _ in range(n):
+            plane.plan(sim, packet=None)
+        assert 0 < plane.dropped < n
+
+    def test_metrics_mirroring_when_enabled(self):
+        sim = Simulator(seed=5)
+        sim.metrics.enable()
+        plane = FaultPlane([DropFault(1.0)])
+        plane.bind_metrics(sim.metrics)
+        plane.plan(sim, packet=None)
+        assert sim.metrics.counter("faults.dropped").value == 1

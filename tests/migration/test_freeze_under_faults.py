@@ -1,0 +1,91 @@
+"""Regression: ``MigrationStats.freeze_us`` equals the traced freeze
+span, even when packet loss forces retransmissions during the residual
+copy.
+
+The freeze span is opened the instant ``freeze_started_at`` is taken
+and closed exactly where ``freeze_us`` accumulates, so the two must
+agree to the microsecond.  An earlier accounting bug (freeze clock
+started before the trace span) only showed up when the residual copy
+stalled on retransmissions -- hence the lossy variants here."""
+
+from repro.cluster import build_cluster
+from repro.faults.models import (
+    DropFault,
+    DuplicateFault,
+    FaultPlane,
+    ReorderFault,
+)
+from repro.kernel import Compute, Delay, Priority, Touch
+from repro.migration.manager import run_migration
+
+
+def _migrate_under(plane, seed=2):
+    """Migrate a busy 128 KB program off ws1 with tracing on; returns
+    (stats, freeze_spans)."""
+    cluster = build_cluster(n_workstations=3, seed=seed, faults=plane)
+    sim = cluster.sim
+    sim.trace.enable("migration")
+
+    kernel = cluster.workstations[1].kernel
+    lh = kernel.create_logical_host()
+    kernel.allocate_space(lh, 128 * 1024, name="victim")
+
+    def victim():
+        while True:
+            yield Compute(3_000)
+            yield Touch(0, 32 * 1024)  # keep dirtying: non-empty residual
+
+    kernel.create_process(lh, victim(), priority=Priority.LOCAL,
+                          name="victim")
+    results = []
+
+    def mgr():
+        yield Delay(200_000)
+        stats = yield from run_migration(
+            kernel, lh, max_attempts=3, retry_backoff_us=50_000
+        )
+        results.append(stats)
+
+    kernel.create_process(
+        cluster.pm("ws1").pcb.logical_host, mgr(),
+        priority=Priority.MIGRATION, name="mgr",
+    )
+    while not results and sim.peek() is not None:
+        sim.run(until_us=sim.now + 500_000)
+    assert results, "migration never completed"
+    return results[0], sim.trace.find_spans("migration", "freeze")
+
+
+def _check_freeze_pin(stats, spans):
+    assert stats.success, stats.error
+    assert stats.freeze_us > 0
+    closed = [s for s in spans if s.end_us is not None]
+    assert closed, "no freeze span was traced"
+    # One span per attempt that reached the freeze step; their summed
+    # durations are exactly the accumulated freeze clock.
+    assert sum(s.duration_us for s in closed) == stats.freeze_us
+
+
+def test_freeze_span_matches_stats_on_a_clean_network():
+    stats, spans = _migrate_under(plane=None)
+    _check_freeze_pin(stats, spans)
+    assert len(spans) == 1
+    assert stats.attempts == 1
+
+
+def test_freeze_span_matches_stats_under_loss_during_residual_copy():
+    plane = FaultPlane([DropFault(0.15)])
+    stats, spans = _migrate_under(plane)
+    _check_freeze_pin(stats, spans)
+    assert plane.dropped > 0, "the drop model never fired"
+    # Retransmissions during the frozen residual copy stretch the
+    # freeze window past the clean-network run of the same seed.
+    clean_stats, _ = _migrate_under(plane=None)
+    assert stats.freeze_us > clean_stats.freeze_us
+
+
+def test_freeze_span_matches_stats_under_duplication_and_reordering():
+    plane = FaultPlane([DuplicateFault(0.2), ReorderFault(0.2)])
+    stats, spans = _migrate_under(plane)
+    _check_freeze_pin(stats, spans)
+    assert plane.duplicated + plane.reordered > 0
