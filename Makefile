@@ -18,9 +18,13 @@ bench-smoke:
 
 # Fixed-seed fault-injection campaign: every fault schedule x 10 seeds
 # with the invariant harness watching every event (see docs/FAULTS.md).
-# Exits non-zero if any of the four invariants is ever violated.
+# Exits non-zero if any of the four invariants is ever violated.  The
+# second pass repeats the campaign with the COPY_PLANE data-plane
+# toggles on, so burst framing and adaptive pre-copy face the same
+# abuse (loss, duplication, reordering, corruption, crashes) in CI.
 chaos-smoke:
 	python -m repro chaos --seeds 10 --seed 7 --workers 2 --messages 20
+	python -m repro chaos --seeds 10 --seed 7 --workers 2 --messages 20 --copy-plane
 
 # Serial vs 4-worker wall clock for the same migration sweep, plus the
 # byte-identity check on the merged payloads (see docs/PARALLEL.md).

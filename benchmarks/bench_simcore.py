@@ -291,6 +291,7 @@ def _run_storm(space_cls, seed=STORM_SEED, instrument=None):
              stats.residual_pages)
             for wave, ordinal, stats in sorted(results, key=lambda r: r[:2])
         ]
+        copies = [ws.kernel.ipc.copies for ws in cluster.workstations]
         return {
             "seconds": elapsed,
             "events": sim.event_count,
@@ -298,6 +299,14 @@ def _run_storm(space_cls, seed=STORM_SEED, instrument=None):
             "sim_time_us": sim.now,
             "migrations_ok": sum(1 for o in outcomes if o[2]),
             "outcomes": outcomes,
+            # Copy data-plane counters (summed over every workstation).
+            "copy_pacing_events": sum(c.pacing_events for c in copies),
+            "copy_bursts": sum(c.bursts for c in copies),
+            "copy_runs": sum(c.runs_streamed for c in copies),
+            "total_pages_copied": sum(
+                sum(r.pages for r in stats.rounds) + stats.residual_pages
+                for _, _, stats in results
+            ),
         }
     finally:
         kernel_mod.AddressSpace, program_mod.AddressSpace = saved
@@ -432,6 +441,154 @@ def _measure_fastpath(repeats=3):
     }
 
 
+# -- scenario 2c: copy data-plane A/B -----------------------------------------
+
+def _run_storm_copy_plane(enabled):
+    from repro._fastpath import COPY_PLANE
+
+    COPY_PLANE.set_all(enabled)
+    try:
+        return _run_storm(AddressSpace)
+    finally:
+        COPY_PLANE.set_all(False)
+
+
+def _measure_copy_plane(baseline=None, repeats=3):
+    """A/B of the bulk-transfer data plane (``COPY_PLANE``: burst pacing
+    + adaptive pre-copy) on the storm.
+
+    Unlike the ``repro._fastpath`` toggles, COPY_PLANE *changes the
+    modelled trajectory* (fewer, larger pacing events; adaptive round
+    counts), so raw events/sec is not comparable across the two runs --
+    burst pacing removes exactly the cheapest events (pacing timers), so
+    the surviving event mix is heavier per event even as the storm
+    finishes much faster.  The headline throughput metric is therefore
+    **simulated microseconds per wall-clock second** (how much simulation
+    a second of CPU buys), which is what the overhaul optimizes; raw
+    events/sec for both sides is reported alongside.  The toggles-off run
+    must remain byte-identical to the canonical storm trajectory."""
+    off = on = None
+    for _ in range(repeats):
+        run_off = _run_storm_copy_plane(False)
+        run_on = _run_storm_copy_plane(True)
+        if off is None or run_off["seconds"] < off["seconds"]:
+            off = run_off
+        if on is None or run_on["seconds"] < on["seconds"]:
+            on = run_on
+    if baseline is None:
+        baseline = off
+    identical = (
+        off["sim_time_us"] == baseline["sim_time_us"]
+        and off["events"] == baseline["events"]
+        and off["outcomes"] == baseline["outcomes"]
+    )
+    off_rate = off["sim_time_us"] / off["seconds"]
+    on_rate = on["sim_time_us"] / on["seconds"]
+    return {
+        "scenario": "migration_storm (copy plane A/B)",
+        "off_seconds": round(off["seconds"], 3),
+        "on_seconds": round(on["seconds"], 3),
+        "off_events": off["events"],
+        "on_events": on["events"],
+        "off_events_per_sec": off["events_per_sec"],
+        "on_events_per_sec": on["events_per_sec"],
+        "off_sim_us_per_wall_sec": round(off_rate),
+        "on_sim_us_per_wall_sec": round(on_rate),
+        "throughput_speedup": round(on_rate / off_rate, 3),
+        "off_pacing_events": off["copy_pacing_events"],
+        "on_pacing_events": on["copy_pacing_events"],
+        "pacing_reduction": round(
+            off["copy_pacing_events"] / max(on["copy_pacing_events"], 1), 2
+        ),
+        "on_bursts": on["copy_bursts"],
+        "runs_streamed": on["copy_runs"],
+        "migrations_ok": (off["migrations_ok"], on["migrations_ok"]),
+        "identical_trajectory": identical,
+    }
+
+
+# -- scenario 2d: adaptive pre-copy on a phased hog ---------------------------
+
+#: The adaptive-termination victim: 256 pages with a heavy write phase
+#: (a 160-page rotating window) that ends *inside* copy round 0, leaving
+#: a 4-page hot set.  The static policy freezes right after the phase
+#: change with the heavy residue still dirty; the dirty-rate projection
+#: rides out the transient and freezes only the hot set.
+PHASED_PAGES = 256
+PHASED_HEAVY_PAGES = 160
+PHASED_HEAVY_UNTIL_US = 1_600_000
+PHASED_HOT = tuple(range(200, 204))
+
+
+def _migrate_phased_hog():
+    """One pre-copy migration of the phased hog; returns its stats."""
+    from repro.kernel.process import Compute, Delay, TouchPages
+
+    cluster = build_cluster(n_workstations=3, seed=5)
+    sim = cluster.sim
+    kernel = cluster.workstations[1].kernel
+    lh = kernel.create_logical_host()
+    kernel.allocate_space(lh, PHASED_PAGES * PAGE_SIZE, name="phased-hog")
+
+    def victim():
+        window = 0
+        while sim.now < PHASED_HEAVY_UNTIL_US:
+            yield Compute(3_000)
+            yield TouchPages(range(window, window + 16))
+            window = (window + 16) % PHASED_HEAVY_PAGES
+        while True:
+            yield Compute(3_000)
+            yield TouchPages(PHASED_HOT)
+
+    kernel.create_process(lh, victim(), priority=Priority.LOCAL, name="hog")
+    results = []
+
+    def mgr():
+        yield Delay(200_000)
+        stats = yield from run_migration(kernel, lh)
+        results.append(stats)
+
+    kernel.create_process(
+        cluster.pm("ws1").pcb.logical_host, mgr(),
+        priority=Priority.MIGRATION, name="mgr",
+    )
+    while not results and sim.peek() is not None:
+        sim.run(until_us=sim.now + 500_000)
+    assert results and results[0].success, "phased-hog migration failed"
+    return results[0]
+
+
+def _measure_adaptive_precopy():
+    """Static vs adaptive pre-copy termination on the phased hog: the
+    freeze time must drop without meaningfully inflating total copy
+    traffic (the <=1.1x pages budget asserted by the acceptance test)."""
+    from repro._fastpath import COPY_PLANE
+
+    static = _migrate_phased_hog()
+    COPY_PLANE.adaptive_precopy = True
+    try:
+        adaptive = _migrate_phased_hog()
+    finally:
+        COPY_PLANE.adaptive_precopy = False
+
+    def pages(stats):
+        return sum(r.pages for r in stats.rounds) + stats.residual_pages
+
+    return {
+        "scenario": "phased hog pre-copy (static vs adaptive)",
+        "static_freeze_us": static.freeze_us,
+        "adaptive_freeze_us": adaptive.freeze_us,
+        "freeze_reduction": round(static.freeze_us / adaptive.freeze_us, 2),
+        "static_rounds": static.precopy_rounds,
+        "adaptive_rounds": adaptive.precopy_rounds,
+        "static_pages": pages(static),
+        "adaptive_pages": pages(adaptive),
+        "pages_ratio": round(pages(adaptive) / pages(static), 3),
+        "stop_reason": adaptive.stop_reason,
+        "projected_residual_pages": adaptive.projected_residual_pages,
+    }
+
+
 # -- scenario 4: process-parallel sweep ---------------------------------------
 
 #: 4 configs x 32 replications of the mid-run migration scenario: each
@@ -468,16 +625,23 @@ def _measure_parallel_sweep():
     spec = _sweep_spec()
     serial = run_sweep(spec)
     parallel = run_sweep(dataclasses.replace(spec, workers=SWEEP_WORKERS))
-    return {
+    cores = os.cpu_count()
+    result = {
         "scenario": "migration sweep",
         "units": spec.n_units,
         "workers": SWEEP_WORKERS,
-        "cores_available": os.cpu_count(),
+        "cores_available": cores,
         "serial_seconds": round(serial.wall_seconds, 3),
         "parallel_seconds": round(parallel.wall_seconds, 3),
         "speedup": round(serial.wall_seconds / parallel.wall_seconds, 3),
         "identical_results": parallel.to_json() == serial.to_json(),
     }
+    if not cores or cores < 4:
+        # A sub-1x "speedup" on a starved box is expected, not a
+        # regression; say so in the payload instead of leaving a
+        # mysterious number (e.g. 0.7x on a 1-core CI runner).
+        result["gated"] = "insufficient cores"
+    return result
 
 
 # -- scenario 3: event-heap churn ---------------------------------------------
@@ -534,6 +698,8 @@ def collect(micro_rounds=MICRO_ROUNDS, engine_events=ENGINE_EVENTS):
     metrics_overhead = _measure_metrics_overhead(disabled=storm_flat)
     invariant_overhead = _measure_invariant_overhead(disabled=storm_flat)
     fastpath = _measure_fastpath()
+    copy_plane = _measure_copy_plane(baseline=storm_flat)
+    adaptive_precopy = _measure_adaptive_precopy()
     parallel_sweep = _measure_parallel_sweep()
 
     return {
@@ -566,6 +732,8 @@ def collect(micro_rounds=MICRO_ROUNDS, engine_events=ENGINE_EVENTS):
         "metrics_overhead": metrics_overhead,
         "invariant_overhead": invariant_overhead,
         "fastpath": fastpath,
+        "copy_plane": copy_plane,
+        "adaptive_precopy": adaptive_precopy,
         "parallel_sweep": parallel_sweep,
         "engine": engine,
     }
@@ -624,6 +792,20 @@ def test_simcore_fastpaths(benchmark):
     # exact value swings with machine state, so only a noise-floor is
     # asserted.
     assert fastpath["speedup"] >= 0.9, fastpath
+
+    copy_plane = payload["copy_plane"]
+    assert copy_plane["identical_trajectory"], (
+        "the COPY_PLANE-off storm diverged from the canonical trajectory"
+    )
+    assert copy_plane["migrations_ok"][1] == 2 * len(STORM_PROGRAMS)
+    assert copy_plane["throughput_speedup"] >= 1.3, copy_plane
+    assert copy_plane["pacing_reduction"] >= 3.0, copy_plane
+
+    adaptive = payload["adaptive_precopy"]
+    assert adaptive["adaptive_freeze_us"] < adaptive["static_freeze_us"], (
+        adaptive
+    )
+    assert adaptive["pages_ratio"] <= 1.1, adaptive
 
     sweep = payload["parallel_sweep"]
     assert sweep["identical_results"], (
@@ -712,6 +894,22 @@ def test_smoke_fastpath_identical_trajectory():
 
 
 @pytest.mark.smoke
+def test_smoke_copy_plane():
+    """Quick CI check: with COPY_PLANE left off (the default) the storm
+    still takes the canonical trajectory; switched on, burst pacing cuts
+    the scheduled copy-pacing events >=3x with every migration intact."""
+    canonical = _run_storm(AddressSpace)
+    off = _run_storm_copy_plane(False)
+    on = _run_storm_copy_plane(True)
+    assert (off["sim_time_us"], off["events"], off["outcomes"]) == (
+        canonical["sim_time_us"], canonical["events"], canonical["outcomes"])
+    assert on["migrations_ok"] == off["migrations_ok"]
+    assert on["copy_bursts"] > 0
+    assert off["copy_pacing_events"] >= 3 * on["copy_pacing_events"], (
+        off["copy_pacing_events"], on["copy_pacing_events"])
+
+
+@pytest.mark.smoke
 def test_smoke_sweep_parallel_identical():
     """Quick CI check (2 workers): a small migration sweep merged from a
     worker pool is byte-identical to the serial run."""
@@ -758,6 +956,16 @@ def main():
           f"at {sweep['workers']} workers on {sweep['cores_available']} "
           f"core(s) (target >= 2.5x on >= 4 cores)  "
           f"identical: {sweep['identical_results']}", file=sys.stderr)
+    plane = payload["copy_plane"]
+    adaptive = payload["adaptive_precopy"]
+    print(f"copy plane: {plane['throughput_speedup']}x sim-time throughput "
+          f"(target >= 1.3x), pacing events {plane['off_pacing_events']} -> "
+          f"{plane['on_pacing_events']} ({plane['pacing_reduction']}x, "
+          f"target >= 3x)  adaptive pre-copy: freeze "
+          f"{adaptive['static_freeze_us'] / 1000:.0f} -> "
+          f"{adaptive['adaptive_freeze_us'] / 1000:.0f} ms at "
+          f"{adaptive['pages_ratio']}x pages (budget <= 1.1x)",
+          file=sys.stderr)
 
 
 if __name__ == "__main__":

@@ -245,6 +245,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             workers=args.workers,
             messages=args.messages,
             break_rebinding=args.break_rebinding,
+            copy_plane=args.copy_plane,
         )
     except SimulationError as exc:
         print(f"chaos: {exc} (schedules: {', '.join(schedule_names())})",
@@ -340,6 +341,9 @@ def main(argv=None) -> int:
     chaos.add_argument("--break-rebinding", action="store_true",
                        help="intentionally disable lazy rebinding (the "
                             "campaign must then FAIL no-residual-dependency)")
+    chaos.add_argument("--copy-plane", action="store_true",
+                       help="run with the COPY_PLANE data-plane toggles on "
+                            "(burst pacing + adaptive pre-copy)")
     chaos.add_argument("--out", default=None,
                        help="write the merged JSON payload here")
     sub.add_parser("info", help="calibrated model summary")

@@ -17,6 +17,14 @@ simulators built afterwards::
     FASTPATH.set_all(False)   # build a cluster the PR 2 way
     ...
     FASTPATH.set_all(True)    # back to the default
+
+A second switch block, :data:`COPY_PLANE`, governs the bulk-transfer
+data-plane *modes* (burst pacing, adaptive pre-copy).  Those are not
+trajectory-neutral -- they change which packets exist -- so they default
+**off** and are opted into per run (benchmarks, ``--copy-plane`` chaos
+campaigns).  ``FASTPATH.copy_runs`` -- extent-coalesced run descriptors
+instead of per-page lists -- *is* trajectory-neutral and rides the
+default-on block.
 """
 
 from __future__ import annotations
@@ -32,6 +40,7 @@ class FastPathFlags:
         "batched_rx",
         "handler_cache",
         "cost_memo",
+        "copy_runs",
     )
 
     def __init__(self) -> None:
@@ -47,5 +56,42 @@ class FastPathFlags:
         return {name: getattr(self, name) for name in self.__slots__}
 
 
+class CopyPlaneFlags:
+    """Switches for the bulk-transfer data plane overhaul (default OFF).
+
+    Unlike :data:`FASTPATH`, these change the *modelled* protocol, not
+    just its wall-clock cost: ``burst_pacing`` streams K-page packet
+    blasts (one frame and one pacing timer per burst instead of per
+    page, V's 32 KB runs), and ``adaptive_precopy`` terminates pre-copy
+    rounds on the observed dirty rate instead of static thresholds.
+    Both therefore produce a *different* (still deterministic) simulated
+    trajectory, so they default off; with every switch off the data
+    plane is byte-identical to the per-page implementation.  Delivered
+    page versions, invariant cleanliness and ``freeze_us`` accounting
+    are preserved either way -- ``benchmarks/bench_simcore.py`` and the
+    chaos campaign gate both positions.
+    """
+
+    __slots__ = (
+        "burst_pacing",
+        "adaptive_precopy",
+    )
+
+    def __init__(self) -> None:
+        self.set_all(False)
+
+    def set_all(self, enabled: bool) -> None:
+        """Switch every copy-plane mode on or off at once."""
+        for name in self.__slots__:
+            setattr(self, name, enabled)
+
+    def snapshot(self) -> dict:
+        """Current switch positions (for benchmark payloads)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
 #: The process-wide switch block, consulted at component construction.
 FASTPATH = FastPathFlags()
+
+#: The copy data-plane switch block (default off; see CopyPlaneFlags).
+COPY_PLANE = CopyPlaneFlags()

@@ -125,6 +125,13 @@ class HardwareModel:
     #: The 68010 moved memory at roughly 2 MB/s.
     local_copy_us_per_page: int = 1_000
 
+    #: Pages per burst when the copy engine streams packet blasts
+    #: (``COPY_PLANE.burst_pacing``).  16 x 2 KB pages = the 32 KB "runs"
+    #: V blasted between acknowledgements; at that size
+    #: ``bulk_copy_us(16 * PAGE_SIZE)`` is exactly 16x the per-page pace,
+    #: so burst pacing preserves the calibrated 3 s/MB stream rate.
+    copy_burst_pages: int = 16
+
     # ----------------------------------------------------- program execution
     #: Time to select a remote host: multicast query handling on the
     #: responder side.  Calibrated so first response arrives ~23 ms after

@@ -88,7 +88,10 @@ def chaos_scenario(
     Config: ``schedule`` (a :data:`FAULT_SCHEDULES` name, default
     "drop"), ``messages`` (default 30), ``workstations`` (4),
     ``migrate_at_ms`` (400), ``break_rebinding`` (False -- the
-    intentionally-broken mode that must trip no-residual-dependency).
+    intentionally-broken mode that must trip no-residual-dependency),
+    ``copy_plane`` (False -- run with every ``COPY_PLANE`` data-plane
+    toggle on, so burst framing and adaptive pre-copy face the same
+    abuse as the per-page stream).
     """
     from repro.cluster import build_cluster, install_cluster_supervisor
     from repro.errors import SendTimeoutError
@@ -115,6 +118,24 @@ def chaos_scenario(
     n_ws = int(config.get("workstations", 4))
     migrate_at_us = int(config.get("migrate_at_ms", 400)) * 1000
     break_rebinding = bool(config.get("break_rebinding", False))
+
+    if config.get("copy_plane"):
+        # Flip the data-plane toggles for this run only (components read
+        # them at construction, so they must be set before the cluster is
+        # built -- and restored even if the scenario raises, because the
+        # serial sweep path runs in-process).
+        from repro._fastpath import COPY_PLANE
+
+        COPY_PLANE.set_all(True)
+        try:
+            result = chaos_scenario(
+                {**config, "copy_plane": False}, seed,
+                collect_metrics=collect_metrics, warm=warm,
+            )
+        finally:
+            COPY_PLANE.set_all(False)
+        result["copy_plane"] = True
+        return result
 
     plane = build_fault_plane(recipe)
     cluster = build_cluster(n_workstations=n_ws, seed=seed, faults=plane)
@@ -223,6 +244,7 @@ def chaos_scenario(
     result: Dict[str, Any] = {
         "schedule": schedule,
         "break_rebinding": break_rebinding,
+        "copy_plane": False,
         "messages": messages,
         "completed": len(completed),
         "served": len(served),
@@ -253,6 +275,7 @@ def campaign_spec(
     workers: int = 1,
     messages: int = 30,
     break_rebinding: bool = False,
+    copy_plane: bool = False,
     collect_metrics: bool = False,
 ) -> SweepSpec:
     """The sweep spec for a chaos campaign: one config per schedule,
@@ -270,6 +293,7 @@ def campaign_spec(
             "schedule": name,
             "messages": messages,
             "break_rebinding": break_rebinding,
+            "copy_plane": copy_plane,
         }
         for name in names
     )

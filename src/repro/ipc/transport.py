@@ -36,6 +36,7 @@ from repro.errors import (
     SendTimeoutError,
 )
 from repro.ipc.messages import Message, release_message
+from repro.kernel.address_space import PageRuns
 from repro.kernel.ids import (
     KERNEL_SERVER_INDEX,
     Pid,
@@ -246,7 +247,9 @@ class Transport:
         if dst.is_global_group:
             raise IpcError("CopyTo to a global group is meaningless")
         record = ClientRecord(pcb, dst, None, "copyto")
-        record.pages = tuple(pages)
+        # Coalesced run descriptors stay as-is end to end; the engine
+        # snapshots them in batch off the flat version array.
+        record.pages = pages if isinstance(pages, PageRuns) else tuple(pages)
         self._begin_client_op(record)
         return record
 
@@ -974,6 +977,9 @@ class Transport:
     def _on_copy_data(self, packet: Packet) -> None:
         self.copies.on_copy_data(packet)
 
+    def _on_copy_burst(self, packet: Packet) -> None:
+        self.copies.on_copy_burst(packet)
+
     def _on_copy_nak(self, packet: Packet) -> None:
         self.copies.on_copy_nak(packet)
 
@@ -985,6 +991,9 @@ class Transport:
 
     def _on_copyfrom_data(self, packet: Packet) -> None:
         self.copies.on_copyfrom_data(packet)
+
+    def _on_copyfrom_burst(self, packet: Packet) -> None:
+        self.copies.on_copyfrom_burst(packet)
 
     def _on_copyfrom_nak(self, packet: Packet) -> None:
         self.copies.on_copyfrom_nak(packet)

@@ -78,12 +78,17 @@ def run_freeze_and_copy(
     stats.freeze_started_at = sim.now
     bundle = None
     try:
+        from repro._fastpath import FASTPATH
         from repro.kernel.process import CopyToInstr
 
         for ordinal, space in enumerate(lh.spaces):
             target = Pid(temp_lhid, reps[ordinal])
             space.collect_dirty()
-            yield CopyToInstr(target, space.pages)
+            if FASTPATH.copy_runs and getattr(space, "FLAT", False):
+                pages = space.full_runs()
+            else:
+                pages = space.pages
+            yield CopyToInstr(target, pages)
             stats.residual_pages += len(space.pages)
         bundle = extract_bundle(kernel, lh)
         install_reply = yield Send(

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from typing import Optional
 
+from repro._fastpath import COPY_PLANE
 from repro.errors import CopyFailedError, NotMigratableError, SendTimeoutError
 from repro.ipc.messages import Message
 from repro.kernel.ids import PROGRAM_MANAGER_GROUP, Pid, local_kernel_server_group
@@ -21,7 +22,7 @@ from repro.kernel.kernel_server import reprocess_deferred
 from repro.kernel.logical_host import LogicalHost
 from repro.kernel.process import Delay, Send
 from repro.migration.manager import _record_metrics
-from repro.migration.precopy import PrecopyPolicy
+from repro.migration.precopy import AdaptivePrecopy, PrecopyPolicy
 from repro.migration.stats import MigrationStats
 from repro.migration.transfer import (
     extract_bundle,
@@ -101,12 +102,28 @@ def run_vm_flush_migration(
 
     # -- step 3: repeated flushes while the program runs ----------------------
     for ordinal, pager in pagers.items():
+        # Under COPY_PLANE.adaptive_precopy the flush loop uses the same
+        # dirty-rate projection as pre-copying: keep flushing while the
+        # projected residual of another round still shrinks meaningfully.
+        adaptive = None
+        if COPY_PLANE.adaptive_precopy:
+            adaptive = AdaptivePrecopy(policy)
+            stats.adaptive = True
         previous = 0
+        prev_duration = 0
         while True:
             n_dirty = pager.dirty_resident_count()
             if not n_dirty:
                 break
-            if stats.rounds and policy.should_stop(
+            if adaptive is not None:
+                if stats.rounds and adaptive.decide(
+                    n_dirty, previous, prev_duration, len(stats.rounds)
+                ):
+                    stats.stop_reason = adaptive.reason
+                    stats.projected_residual_pages = int(adaptive.projected)
+                    stats.dirty_rate_pps = adaptive.rate_pps
+                    break
+            elif stats.rounds and policy.should_stop(
                 n_dirty, previous, len(stats.rounds)
             ):
                 break
@@ -123,6 +140,7 @@ def run_vm_flush_migration(
                 trace.end_span(span, flushed=count)
             stats.add_round(count, sim.now - started)
             previous = count
+            prev_duration = sim.now - started
 
     # -- step 4: freeze, flush the residual, transfer kernel state ------------
     if not lh_alive():

@@ -3,7 +3,11 @@
 A packet carries an opaque ``payload`` (constructed by the IPC transport)
 plus the addressing and size information the bus needs.  ``size_bytes``
 counts payload data only; framing overhead is added by the wire-time
-model in :class:`repro.config.HardwareModel`.
+model in :class:`repro.config.HardwareModel`.  A frame may carry more
+than one logical page: under ``COPY_PLANE.burst_pacing`` the copy engine
+emits ``copy-burst`` / ``copyfrom-burst`` frames whose payload is a list
+of page snapshots and whose ``size_bytes`` is the whole burst, modelling
+V's multi-packet blasts as one scheduled unit.
 
 Packets are the highest-churn objects in a busy simulation (every IPC
 request, reply, copy-data page and acknowledgement is one), so each

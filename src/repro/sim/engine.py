@@ -137,7 +137,12 @@ class Simulator:
         cancellable :class:`Timer`."""
         if delay_us < 0:
             raise SimulationError(f"cannot schedule {delay_us} us in the past")
-        time = self._now + int(delay_us)
+        if type(delay_us) is not int:
+            # Round half up instead of silently truncating: a fractional
+            # pace (e.g. a scaled bulk_copy_us) must not quietly run the
+            # clock fast.  ``int()`` would floor 0.999 to 0.
+            delay_us = int(delay_us + 0.5)
+        time = self._now + delay_us
         pool = self._timer_pool
         if pool:
             timer = pool.pop()

@@ -43,6 +43,34 @@ def test_schedule_negative_delay_rejected():
         sim.schedule(-1, lambda: None)
 
 
+def test_schedule_float_delay_rounds_half_up():
+    # Regression: int(delay_us) silently truncated fractional delays, so
+    # a 0.999 us pace ran the clock fast (0.999 -> 0).  Fractions now
+    # round half up to the nearest whole microsecond.
+    sim = Simulator()
+    seen = []
+    sim.schedule(0.999, lambda: seen.append(sim.now))
+    sim.schedule(2.5, lambda: seen.append(sim.now))
+    sim.schedule(2.4, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [1, 2, 3]
+
+
+def test_schedule_float_delay_keeps_integer_clock():
+    sim = Simulator()
+    times = []
+
+    def hop(n):
+        times.append(sim.now)
+        if n:
+            sim.schedule(1.5, hop, n - 1)
+
+    sim.schedule(1.5, hop, 3)
+    sim.run()
+    assert times == [2, 4, 6, 8]
+    assert all(type(t) is int for t in times)
+
+
 def test_schedule_at_absolute_time():
     sim = Simulator()
     seen = []
