@@ -1,6 +1,6 @@
 # Convenience targets for the V-System reproduction.
 
-.PHONY: install test bench bench-smoke bench-sweep chaos-smoke examples demo trace-demo all
+.PHONY: install test bench bench-smoke bench-sweep chaos-smoke report-smoke examples demo trace-demo all
 
 install:
 	pip install -e . || python setup.py develop
@@ -25,6 +25,15 @@ bench-smoke:
 chaos-smoke:
 	python -m repro chaos --seeds 10 --seed 7 --workers 2 --messages 20
 	python -m repro chaos --seeds 10 --seed 7 --workers 2 --messages 20 --copy-plane
+
+# Regenerate the canonical migration RunReport and diff it against the
+# checked-in BASELINE_report.json within a 1% tolerance: simulated
+# metrics, KPIs and the freeze-phase accounting must not drift (the
+# wall section is informational and never compared).  Exits non-zero
+# on any out-of-tolerance delta, with per-subsystem attribution.
+report-smoke:
+	python -m repro report --seed 0 --out run_report.json
+	python -m repro diff BASELINE_report.json run_report.json
 
 # Serial vs 4-worker wall clock for the same migration sweep, plus the
 # byte-identity check on the merged payloads (see docs/PARALLEL.md).

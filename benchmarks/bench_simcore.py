@@ -925,6 +925,37 @@ def test_smoke_sweep_parallel_identical():
 
 
 @pytest.mark.smoke
+def test_smoke_report_roundtrip(tmp_path):
+    """Quick CI check: the RunReport pipeline end-to-end -- build one
+    from a real instrumented migration, write it, load it back, and
+    self-diff to zero.  The freeze-time decomposition (residual copies
+    + self) must account for stats.freeze_us, the property the paper's
+    phase tables rest on."""
+    from repro.__main__ import _migrate_scenario
+    from repro.obs import SelfProfiler, build_migration_report, diff_reports
+    from repro.obs.report import load_report, write_report
+
+    state = {}
+
+    def setup(cluster):
+        cluster.sim.trace.enable("*")
+        cluster.sim.metrics.enable()
+        state["profiler"] = SelfProfiler(cluster.sim)
+
+    cluster, stats = _migrate_scenario("tex", 0, setup)
+    report = build_migration_report(
+        cluster, stats, seed=0, program="tex", profiler=state["profiler"]
+    )
+    assert stats.success
+    assert report["checks"]["freeze_decomposition_ok"], report["checks"]
+    path = tmp_path / "report.json"
+    write_report(report, str(path))
+    diff = diff_reports(load_report(str(path)), load_report(str(path)))
+    assert diff["ok"]
+    assert diff["total_time_delta_us"] == 0
+
+
+@pytest.mark.smoke
 def test_smoke_engine_events_per_sec():
     """Quick CI check: timer pooling/compaction still engage, and
     events/sec has not regressed >2x vs the recorded baseline."""

@@ -12,7 +12,14 @@
   byte-identical output regardless of worker count.
 * ``chaos``   -- a fault-injection campaign: sweep fault schedules ×
   seeds with the invariant harness watching every event, and print the
-  verdict table (exit 1 on any violation).
+  verdict table (exit 1 on any violation; ``--postmortem`` replays the
+  first failing run with the flight recorder armed).
+* ``report``  -- the instrumented migration distilled into a versioned
+  RunReport JSON: toggles, metrics, span profile, phase breakdowns and
+  KPIs, with the freeze-time decomposition checked against
+  ``MigrationStats.freeze_us``.
+* ``diff``    -- compare two RunReports under a tolerance: per-metric
+  deltas plus per-subsystem time attribution (exit 1 beyond tolerance).
 * ``info``    -- the calibrated hardware model and package layout.
 """
 
@@ -120,11 +127,14 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
     cluster, stats = _migrate_scenario(args.program, args.seed, setup)
     sim = cluster.sim
-    export_timeline(sim.trace, out=args.out, metrics=sim.metrics)
+    payload = export_timeline(
+        sim.trace, out=args.out, metrics=sim.metrics,
+        since_us=args.since_us, until_us=args.until_us,
+    )
 
     spans = sim.trace.find_spans("migration", "freeze")
     freeze_dur = spans[0].duration_us if spans else None
-    n_events = len(sim.trace.spans) + len(sim.trace.records)
+    n_events = sum(1 for e in payload["traceEvents"] if e["ph"] != "M")
     print(f"traced migration of {args.program!r}: {stats.summary()}")
     print(f"timeline: {args.out} ({n_events} trace events; open in "
           "https://ui.perfetto.dev or chrome://tracing)")
@@ -140,6 +150,62 @@ def cmd_trace(args: argparse.Namespace) -> int:
     # Fail (for CI) unless the migration succeeded AND the exported
     # freeze span agrees exactly with the reported freeze time.
     return 0 if stats.success and match else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro._fastpath import COPY_PLANE
+    from repro.obs import SelfProfiler, build_migration_report, render_report
+    from repro.obs.report import write_report
+
+    state = {}
+
+    def setup(cluster):
+        sim = cluster.sim
+        sim.trace.enable("*")
+        sim.metrics.enable()
+        state["profiler"] = SelfProfiler(sim)
+
+    if args.copy_plane:
+        COPY_PLANE.set_all(True)
+    try:
+        cluster, stats = _migrate_scenario(args.program, args.seed, setup)
+        report = build_migration_report(
+            cluster, stats, seed=args.seed, program=args.program,
+            profiler=state["profiler"],
+        )
+    finally:
+        if args.copy_plane:
+            COPY_PLANE.set_all(False)
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+    print(render_report(report))
+    ok = stats.success and report["checks"]["freeze_decomposition_ok"]
+    return 0 if ok else 1
+
+
+def cmd_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import SimulationError
+    from repro.obs import diff_reports, render_diff
+    from repro.obs.report import load_report
+
+    try:
+        report_a = load_report(args.a)
+        report_b = load_report(args.b)
+    except SimulationError as exc:
+        print(f"diff: {exc}", file=sys.stderr)
+        return 2
+    diff = diff_reports(
+        report_a, report_b, rel_tol=args.tolerance / 100.0,
+        abs_tol=args.abs_tolerance,
+    )
+    if args.json:
+        print(json.dumps(diff, indent=2, sort_keys=True))
+    else:
+        print(render_diff(diff, max_rows=args.max_rows))
+    return 0 if diff["ok"] else 1
 
 
 def _fastpath_summary(cluster) -> str:
@@ -224,6 +290,11 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             fh.write(result.to_json())
             fh.write("\n")
         print(f"  wrote {args.out}")
+    if args.report:
+        from repro.obs.report import write_report
+
+        write_report(result.run_report(), args.report)
+        print(f"  wrote run report {args.report}")
     return 0
 
 
@@ -231,6 +302,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.errors import SimulationError
     from repro.faults import (
         campaign_ok,
+        replay_failing_run,
         run_campaign,
         schedule_names,
         verdict_table,
@@ -258,7 +330,20 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             fh.write(result.to_json())
             fh.write("\n")
         print(f"wrote {args.out}")
-    return 0 if campaign_ok(result) else 1
+    if args.report:
+        from repro.obs.report import write_report
+
+        write_report(result.run_report(kind="chaos"), args.report)
+        print(f"wrote run report {args.report}")
+    if campaign_ok(result):
+        return 0
+    # Something fired: replay the first failing unit with the flight
+    # recorder armed so the postmortem bundle survives the exit.
+    bundle = replay_failing_run(result, args.postmortem)
+    if bundle:
+        print(f"invariant violation: postmortem bundle at {bundle}/",
+              file=sys.stderr)
+    return 1
 
 
 def cmd_info(args: argparse.Namespace) -> int:
@@ -306,6 +391,11 @@ def main(argv=None) -> int:
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument("--out", default="timeline.json",
                        help="Chrome trace_event JSON output path")
+    trace.add_argument("--since-us", type=int, default=0,
+                       help="export only events at or after this sim time")
+    trace.add_argument("--until-us", type=int, default=None,
+                       help="export only events before this sim time "
+                            "(half-open window, like the traffic reports)")
     sweep = sub.add_parser(
         "sweep", help="process-parallel scenario sweep"
     )
@@ -325,6 +415,9 @@ def main(argv=None) -> int:
                        help="collect and merge repro.obs metrics")
     sweep.add_argument("--out", default=None,
                        help="write the merged JSON payload here")
+    sweep.add_argument("--report", default=None, metavar="PATH",
+                       help="also write a RunReport JSON (diffable with "
+                            "'python -m repro diff')")
     chaos = sub.add_parser(
         "chaos", help="fault-injection campaign with invariant verdicts"
     )
@@ -346,13 +439,46 @@ def main(argv=None) -> int:
                             "(burst pacing + adaptive pre-copy)")
     chaos.add_argument("--out", default=None,
                        help="write the merged JSON payload here")
+    chaos.add_argument("--report", default=None, metavar="PATH",
+                       help="also write a RunReport JSON for the campaign")
+    chaos.add_argument("--postmortem", default="chaos-postmortem",
+                       metavar="DIR",
+                       help="where a failing campaign's flight-recorder "
+                            "bundle lands (default: chaos-postmortem)")
+    report = sub.add_parser(
+        "report", help="instrumented migration as a RunReport JSON"
+    )
+    report.add_argument("--program", default="tex",
+                        choices=["tex", "parser", "optimizer", "assembler",
+                                 "preprocessor", "linking_loader", "longsim"])
+    report.add_argument("--seed", type=int, default=0)
+    report.add_argument("--out", default=None,
+                        help="write the RunReport JSON here")
+    report.add_argument("--copy-plane", action="store_true",
+                        help="run with the COPY_PLANE data-plane toggles on "
+                             "(burst pacing + adaptive pre-copy)")
+    diff = sub.add_parser(
+        "diff", help="compare two RunReports (subsystem attribution)"
+    )
+    diff.add_argument("a", help="baseline RunReport JSON")
+    diff.add_argument("b", help="candidate RunReport JSON")
+    diff.add_argument("--tolerance", type=float, default=1.0,
+                      metavar="PCT",
+                      help="relative tolerance in percent (default 1.0)")
+    diff.add_argument("--abs-tolerance", type=float, default=0.0,
+                      help="absolute tolerance (same units as each metric)")
+    diff.add_argument("--max-rows", type=int, default=20,
+                      help="top movers to show in the table")
+    diff.add_argument("--json", action="store_true",
+                      help="emit the full diff as JSON instead of a table")
     sub.add_parser("info", help="calibrated model summary")
     args = parser.parse_args(argv)
     command = args.command or "demo"
     if command == "demo" and not hasattr(args, "workstations"):
         args.workstations, args.seed = 4, 42
     handler = {"demo": cmd_demo, "migrate": cmd_migrate, "trace": cmd_trace,
-               "sweep": cmd_sweep, "chaos": cmd_chaos, "info": cmd_info}[command]
+               "sweep": cmd_sweep, "chaos": cmd_chaos, "report": cmd_report,
+               "diff": cmd_diff, "info": cmd_info}[command]
     return handler(args)
 
 

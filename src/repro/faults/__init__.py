@@ -19,6 +19,7 @@ from repro.faults.campaign import (
     build_fault_plane,
     campaign_ok,
     campaign_spec,
+    replay_failing_run,
     run_campaign,
     schedule_names,
     verdict_table,
@@ -62,6 +63,7 @@ __all__ = [
     "build_fault_plane",
     "campaign_ok",
     "campaign_spec",
+    "replay_failing_run",
     "run_campaign",
     "schedule_names",
     "verdict_table",

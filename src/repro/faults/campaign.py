@@ -91,7 +91,11 @@ def chaos_scenario(
     intentionally-broken mode that must trip no-residual-dependency),
     ``copy_plane`` (False -- run with every ``COPY_PLANE`` data-plane
     toggle on, so burst framing and adaptive pre-copy face the same
-    abuse as the per-page stream).
+    abuse as the per-page stream), ``postmortem_dir`` (None -- arm a
+    flight recorder: tracing + metrics on, and the first invariant
+    violation dumps a postmortem bundle there.  Used by the replay
+    path, not by campaign sweeps, so the verdict payload stays
+    byte-identical with or without it).
     """
     from repro.cluster import build_cluster, install_cluster_supervisor
     from repro.errors import SendTimeoutError
@@ -143,6 +147,27 @@ def chaos_scenario(
     if collect_metrics:
         sim.metrics.enable()
     checker = InvariantChecker(cluster, strict=False).install(sim)
+    recorder = None
+    postmortem_dir = config.get("postmortem_dir")
+    if postmortem_dir:
+        # Armed replay of a failing run: turn the full observability
+        # stack on so the bundle has something to say, and dump on the
+        # first violation.
+        from repro.obs.flight_recorder import FlightRecorder
+
+        sim.trace.enable("*")
+        sim.trace.use_ring_buffer(8192)
+        sim.metrics.enable()
+        recorder = FlightRecorder(
+            postmortem_dir, cluster=cluster,
+            context={
+                "scenario": "chaos",
+                "schedule": schedule,
+                "seed": seed,
+                "recipe": recipe,
+                "config": {k: v for k, v in sorted(config.items())},
+            },
+        ).attach(checker)
     supervisor = install_cluster_supervisor(cluster)
     crashes: Optional[CrashSchedule] = None
     if "crash_at_ms" in recipe:
@@ -263,6 +288,8 @@ def chaos_scenario(
     }
     if collect_metrics:
         result["metrics"] = sim.metrics.snapshot()
+    if recorder is not None:
+        result["postmortem"] = recorder.dumped
     return result
 
 
@@ -363,3 +390,25 @@ def campaign_ok(result) -> bool:
     return all(
         run["invariants_ok"] for row in result.rows for run in row
     )
+
+
+def replay_failing_run(result, postmortem_dir: str) -> Optional[str]:
+    """Re-run the campaign's first invariant-violating unit with the
+    flight recorder armed; returns the bundle directory (None when the
+    campaign was clean).
+
+    Sweep seeds are a pure function of the grid coordinates, so the
+    replay -- same config, same ``spec.unit_seed(ci, ri)`` -- retraces
+    the failing trajectory exactly; only the observability stack (and
+    the bundle on disk) is new.
+    """
+    spec = result.spec
+    for ci, row in enumerate(result.rows):
+        for ri, run in enumerate(row):
+            if run["invariants_ok"]:
+                continue
+            config = dict(spec.configs[ci])
+            config["postmortem_dir"] = postmortem_dir
+            replay = chaos_scenario(config, spec.unit_seed(ci, ri))
+            return replay.get("postmortem")
+    return None

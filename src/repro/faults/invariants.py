@@ -86,6 +86,11 @@ class InvariantChecker:
         self.check_interval_events = max(1, check_interval_events)
         self._countdown = self.check_interval_events
         self.violations: List[InvariantViolation] = []
+        #: Optional :class:`~repro.obs.flight_recorder.FlightRecorder`;
+        #: when set, the first violation dumps a postmortem bundle
+        #: before a strict checker raises.  One ``is not None`` test per
+        #: violation -- clean runs never touch it.
+        self.flight_recorder = None
         #: Events the harness has inspected (campaign accounting).
         self.events_checked = 0
         self.deliveries_checked = 0
@@ -112,6 +117,8 @@ class InvariantChecker:
             at_us=at_us, detail=detail,
         )
         self.violations.append(violation)
+        if self.flight_recorder is not None:
+            self.flight_recorder.on_violation(self)
         if self.strict:
             raise violation
 

@@ -14,8 +14,30 @@ discipline (one attribute load and one branch on a disabled path):
   Chrome/Perfetto ``trace_event`` JSON, and
   :class:`~repro.obs.profiler.SelfProfiler` reports the simulator's own
   wall-clock overhead per event category.
+
+On top of the pillars sits the analysis layer (all post-hoc, nothing on
+any hot path):
+
+* :mod:`repro.obs.critical_path` -- span self-times, per-subsystem
+  profiles and critical-path extraction from recorded span trees.
+* :mod:`repro.obs.report` -- versioned RunReport JSON artifacts (config
+  + toggles + metrics + span profile + KPIs) for any run.
+* :mod:`repro.obs.diff` -- report-vs-report deltas with tolerances and
+  per-subsystem time attribution.
+* :mod:`repro.obs.flight_recorder` -- postmortem bundles dumped when an
+  invariant fires, loadable for offline replay.
 """
 
+from repro.obs.critical_path import (
+    critical_path,
+    phase_breakdown,
+    render_breakdown,
+    render_profile,
+    self_time_us,
+    span_profile,
+)
+from repro.obs.diff import diff_reports, render_diff, subsystem_of
+from repro.obs.flight_recorder import FlightRecorder, load_postmortem
 from repro.obs.metrics import (
     Counter,
     Gauge,
@@ -25,6 +47,15 @@ from repro.obs.metrics import (
     SIZE_BUCKETS_BYTES,
 )
 from repro.obs.profiler import SelfProfiler
+from repro.obs.report import (
+    RUN_REPORT_VERSION,
+    build_migration_report,
+    load_report,
+    new_report,
+    render_report,
+    sweep_run_report,
+    write_report,
+)
 from repro.obs.timeline import chrome_trace_events, export_timeline
 
 __all__ = [
@@ -37,4 +68,22 @@ __all__ = [
     "SelfProfiler",
     "chrome_trace_events",
     "export_timeline",
+    "critical_path",
+    "phase_breakdown",
+    "render_breakdown",
+    "render_profile",
+    "self_time_us",
+    "span_profile",
+    "RUN_REPORT_VERSION",
+    "build_migration_report",
+    "load_report",
+    "new_report",
+    "render_report",
+    "sweep_run_report",
+    "write_report",
+    "diff_reports",
+    "render_diff",
+    "subsystem_of",
+    "FlightRecorder",
+    "load_postmortem",
 ]

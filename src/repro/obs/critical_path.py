@@ -1,0 +1,200 @@
+"""Span-tree analysis: self-times, subsystem rollups, critical paths.
+
+PR 2's tracer records causal span trees (a migration's
+``migrate -> precopy -> precopy-round`` chain); this module turns those
+raw trees into the paper's Table 4-1 style *phase accounting*:
+
+* :func:`self_time_us` -- a span's duration minus the part covered by
+  its (ended) children, i.e. the time the phase itself was responsible
+  for rather than delegating.
+* :func:`span_profile` -- aggregation over a whole tracer (or one
+  subtree): per ``category/name`` counts, total and self time, plus a
+  per-category rollup.  Categories are the subsystem axis ("migration",
+  "ipc", ...), names are the phase axis ("freeze", "precopy-round").
+* :func:`critical_path` -- the dominating child chain of a root span:
+  from the root, repeatedly descend into the child that finishes last,
+  the path a latency optimization would have to shorten.
+* :func:`phase_breakdown` -- one level of decomposition: a root span's
+  time split across its direct children by name, with the uncovered
+  remainder reported as ``(self)``.  For non-overlapping children (all
+  the trees this simulator emits) the phases sum to the root's duration
+  *exactly* -- the property ``python -m repro report`` asserts against
+  ``MigrationStats.freeze_us``.
+
+Everything here is post-hoc analysis of already-collected spans: it adds
+nothing to any hot path and is free when tracing is off (no spans, empty
+profiles).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+
+def _ended_children(tracer, span_id: int) -> List:
+    return [c for c in tracer.children_of(span_id) if c.end_us is not None]
+
+
+def _merged_intervals(intervals: List[Tuple[int, int]]) -> List[Tuple[int, int]]:
+    """Union of half-open-ish [start, end] intervals, merged and sorted."""
+    merged: List[Tuple[int, int]] = []
+    for start, end in sorted(intervals):
+        if merged and start <= merged[-1][1]:
+            if end > merged[-1][1]:
+                merged[-1] = (merged[-1][0], end)
+        else:
+            merged.append((start, end))
+    return merged
+
+
+def _clip(span, child) -> Optional[Tuple[int, int]]:
+    """The child's interval clipped to the parent's, or None if disjoint
+    (a child that out-lived a truncated parent still only covers the
+    overlap)."""
+    start = max(span.start_us, child.start_us)
+    end = min(span.end_us, child.end_us)
+    if end <= start:
+        return None
+    return (start, end)
+
+
+def covered_us(tracer, span) -> int:
+    """Microseconds of ``span`` covered by its ended children (union of
+    the clipped child intervals, so overlapping children count once)."""
+    if span.end_us is None:
+        return 0
+    intervals = []
+    for child in _ended_children(tracer, span.span_id):
+        clipped = _clip(span, child)
+        if clipped is not None:
+            intervals.append(clipped)
+    return sum(end - start for start, end in _merged_intervals(intervals))
+
+
+def self_time_us(tracer, span) -> Optional[int]:
+    """Duration minus child coverage; None while the span is open."""
+    if span.end_us is None:
+        return None
+    return span.duration_us - covered_us(tracer, span)
+
+
+def critical_path(tracer, root_id: int) -> List:
+    """The dominating chain from ``root_id`` down: at every level,
+    descend into the ended child that finishes last (ties: the one that
+    started last).  Returns the spans root-first; empty for an unknown
+    id."""
+    node = tracer.span(root_id)
+    if node is None:
+        return []
+    path = [node]
+    while True:
+        children = _ended_children(tracer, node.span_id)
+        if not children:
+            return path
+        node = max(children, key=lambda c: (c.end_us, c.start_us))
+        path.append(node)
+
+
+def phase_breakdown(tracer, root_id: int) -> Dict[str, Any]:
+    """One root span decomposed over its direct children, by name.
+
+    Returns ``{"name", "total_us", "phases": [{"name", "us", "share"}]}``
+    with an explicit ``(self)`` phase for time no child covers.  The
+    per-name figures are clipped child durations (so a child spilling
+    past a truncated parent never inflates its phase); ``(self)`` is
+    computed from the *union* of children, so with non-overlapping
+    children the phases sum to ``total_us`` exactly."""
+    root = tracer.span(root_id)
+    if root is None or root.end_us is None:
+        return {"name": root.name if root else "?", "total_us": 0, "phases": []}
+    total = root.duration_us
+    by_name: Dict[str, int] = {}
+    for child in _ended_children(tracer, root_id):
+        clipped = _clip(root, child)
+        if clipped is not None:
+            by_name[child.name] = by_name.get(child.name, 0) + (
+                clipped[1] - clipped[0]
+            )
+    self_us = total - covered_us(tracer, root)
+    phases = [
+        {"name": name, "us": us, "share": round(us / total, 4) if total else 0.0}
+        for name, us in sorted(by_name.items(), key=lambda kv: -kv[1])
+    ]
+    phases.append({
+        "name": "(self)", "us": self_us,
+        "share": round(self_us / total, 4) if total else 0.0,
+    })
+    return {"name": root.name, "total_us": total, "phases": phases}
+
+
+def span_profile(tracer, root_id: Optional[int] = None) -> Dict[str, Any]:
+    """Aggregate span accounting, per ``category/name`` key and rolled
+    up per category.
+
+    With ``root_id``, only that span's subtree is profiled (e.g. one
+    migration attempt); otherwise every span the tracer holds.  Open
+    spans are counted (``open``) but contribute no time.
+    """
+    spans = tracer.span_tree(root_id) if root_id else tracer.spans
+    by_key: Dict[str, Dict[str, Any]] = {}
+    by_category: Dict[str, Dict[str, Any]] = {}
+    n_open = 0
+    for span in spans:
+        if span.end_us is None:
+            n_open += 1
+            continue
+        dur = span.duration_us
+        own = self_time_us(tracer, span)
+        key = f"{span.category}/{span.name}"
+        row = by_key.setdefault(
+            key, {"count": 0, "total_us": 0, "self_us": 0, "max_us": 0}
+        )
+        row["count"] += 1
+        row["total_us"] += dur
+        row["self_us"] += own
+        if dur > row["max_us"]:
+            row["max_us"] = dur
+        cat = by_category.setdefault(
+            span.category, {"count": 0, "total_us": 0, "self_us": 0}
+        )
+        cat["count"] += 1
+        cat["total_us"] += dur
+        cat["self_us"] += own
+    return {
+        "spans": len(spans),
+        "open_spans": n_open,
+        "by_key": dict(sorted(by_key.items())),
+        "by_category": dict(sorted(by_category.items())),
+    }
+
+
+def render_profile(profile: Dict[str, Any]) -> str:
+    """A span profile as an aligned text table (self-time-sorted)."""
+    rows = sorted(
+        profile["by_key"].items(), key=lambda kv: -kv[1]["self_us"]
+    )
+    if not rows:
+        return "(no ended spans)"
+    header = ["span", "count", "total_ms", "self_ms", "max_ms"]
+    body = [
+        [key, f"{r['count']:,}", f"{r['total_us'] / 1000:,.1f}",
+         f"{r['self_us'] / 1000:,.1f}", f"{r['max_us'] / 1000:,.1f}"]
+        for key, r in rows
+    ]
+    widths = [max(len(header[i]), *(len(b[i]) for b in body))
+              for i in range(len(header))]
+    lines = ["  ".join(h.ljust(w) for h, w in zip(header, widths)).rstrip(),
+             "  ".join("-" * w for w in widths)]
+    for row in body:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def render_breakdown(breakdown: Dict[str, Any]) -> str:
+    """A phase breakdown as one human-readable line."""
+    total = breakdown["total_us"]
+    parts = " + ".join(
+        f"{p['name']} {p['us'] / 1000:.1f} ms ({p['share'] * 100:.1f}%)"
+        for p in breakdown["phases"]
+    )
+    return f"{breakdown['name']} {total / 1000:.1f} ms = {parts}"

@@ -129,21 +129,32 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def quantile(self, q: float) -> Optional[float]:
-        """Upper bound of the bucket holding the ``q``-quantile
-        observation (None when empty; None for the open last bucket's
-        upper bound, reported as the max seen value)."""
+        """Estimated ``q``-quantile, interpolated linearly within the
+        bucket holding the rank (None when empty).
+
+        ``q=0`` reports the smallest observation; within a bucket the
+        rank is placed proportionally between the bucket's bounds (the
+        open last bucket, having no upper bound, reports the max seen
+        value).  Estimates are clamped to the observed ``[min, max]``
+        so sparse buckets never extrapolate past real data."""
         if not self.count:
             return None
         if not 0 <= q <= 1:
             raise ValueError(f"quantile {q} outside [0, 1]")
+        if q == 0:
+            return self.min_value
         rank = q * self.count
         seen = 0
         for i, c in enumerate(self.counts):
+            below = seen
             seen += c
             if seen >= rank and c:
-                if i < len(self.bounds):
-                    return self.bounds[i]
-                return self.max_value
+                if i >= len(self.bounds):
+                    return self.max_value
+                lo = self.bounds[i - 1] if i else self.min_value
+                hi = self.bounds[i]
+                value = lo + (hi - lo) * ((rank - below) / c)
+                return min(max(value, self.min_value), self.max_value)
         return self.max_value
 
     def snapshot(self) -> Dict[str, Any]:
@@ -409,7 +420,7 @@ def _cell(value) -> str:
         if not value.count:
             return "n=0"
         return (f"n={value.count} mean={value.mean:,.0f} "
-                f"p95<={_num(value.quantile(0.95))} max={_num(value.max_value)}")
+                f"p95~{_num(value.quantile(0.95))} max={_num(value.max_value)}")
     if isinstance(value, Gauge):
         return f"{_num(value.value)} (max {_num(value.max_value)})"
     if isinstance(value, Counter):

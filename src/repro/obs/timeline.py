@@ -9,6 +9,11 @@ simulated microseconds.
 Spans become complete events (``ph: "X"`` with ``ts``/``dur``); still
 open spans are emitted as zero-duration instants so a truncated run
 stays loadable.  Instant records become ``ph: "i"`` events.
+
+Exports can be windowed with ``since_us``/``until_us`` -- the same
+half-open ``[since_us, until_us)`` convention as
+:meth:`TrafficReport.from_tracer`, keyed on a span's *start* time (a
+span straddling the window edge belongs to the window it started in).
 """
 
 from __future__ import annotations
@@ -20,32 +25,47 @@ from typing import Any, Dict, IO, List, Optional, Union
 _SIM_PID = 1
 
 
-def _host_pids(tracer) -> Dict[str, int]:
+def _host_pids(spans, records) -> Dict[str, int]:
     """Stable host -> Chrome pid mapping (sorted; pid 1 = unattributed)."""
     hosts = set()
-    for span in tracer.spans:
+    for span in spans:
         host = span.data.get("host")
         if host:
             hosts.add(str(host))
-    for rec in tracer.records:
+    for rec in records:
         host = rec.get("host")
         if host:
             hosts.add(str(host))
     return {host: _SIM_PID + 1 + i for i, host in enumerate(sorted(hosts))}
 
 
-def _tid_map(tracer) -> Dict[str, int]:
+def _tid_map(spans, records) -> Dict[str, int]:
     """Stable category -> thread-lane mapping."""
     categories = sorted(
-        {s.category for s in tracer.spans} | {r.category for r in tracer.records}
+        {s.category for s in spans} | {r.category for r in records}
     )
     return {category: i + 1 for i, category in enumerate(categories)}
 
 
-def chrome_trace_events(tracer) -> List[Dict[str, Any]]:
-    """The tracer's contents as a list of ``trace_event`` dicts."""
-    pids = _host_pids(tracer)
-    tids = _tid_map(tracer)
+def chrome_trace_events(
+    tracer,
+    since_us: int = 0,
+    until_us: Optional[int] = None,
+) -> List[Dict[str, Any]]:
+    """The tracer's contents as a list of ``trace_event`` dicts,
+    optionally restricted to the half-open window
+    ``[since_us, until_us)`` (spans by start time, records by time)."""
+    def in_window(t: int) -> bool:
+        if t < since_us:
+            return False
+        if until_us is not None and t >= until_us:
+            return False
+        return True
+
+    spans = [s for s in tracer.spans if in_window(s.start_us)]
+    records = [r for r in tracer.records if in_window(r.time)]
+    pids = _host_pids(spans, records)
+    tids = _tid_map(spans, records)
     events: List[Dict[str, Any]] = []
 
     for host, pid in [("sim", _SIM_PID)] + sorted(pids.items(), key=lambda kv: kv[1]):
@@ -59,7 +79,7 @@ def chrome_trace_events(tracer) -> List[Dict[str, Any]]:
                 "args": {"name": category},
             })
 
-    for span in tracer.spans:
+    for span in spans:
         host = span.data.get("host")
         pid = pids.get(str(host), _SIM_PID) if host else _SIM_PID
         args = {k: _jsonable(v) for k, v in span.data.items()}
@@ -79,7 +99,7 @@ def chrome_trace_events(tracer) -> List[Dict[str, Any]]:
                 "pid": pid, "tid": tids[span.category], "args": args,
             })
 
-    for rec in tracer.records:
+    for rec in records:
         host = rec.get("host")
         pid = pids.get(str(host), _SIM_PID) if host else _SIM_PID
         events.append({
@@ -95,16 +115,20 @@ def export_timeline(
     tracer,
     out: Optional[Union[str, IO[str]]] = None,
     metrics=None,
+    since_us: int = 0,
+    until_us: Optional[int] = None,
 ) -> Dict[str, Any]:
     """Build (and optionally write) the full Chrome trace payload.
 
     ``out`` may be a path or a writable text file.  When a
     :class:`~repro.obs.metrics.MetricsRegistry` is given, its snapshot is
     embedded under ``otherData`` so one file carries the whole picture.
-    Returns the payload dict either way.
+    ``since_us``/``until_us`` window the exported events (half-open, as
+    everywhere in the reporting layer).  Returns the payload dict either
+    way.
     """
     payload: Dict[str, Any] = {
-        "traceEvents": chrome_trace_events(tracer),
+        "traceEvents": chrome_trace_events(tracer, since_us, until_us),
         "displayTimeUnit": "ms",
     }
     if metrics is not None:

@@ -83,6 +83,15 @@ class SweepResult:
         surface of the serial ≡ parallel contract."""
         return json.dumps(self.payload(), indent=2, sort_keys=True)
 
+    def run_report(self, kind: str = "sweep") -> Dict[str, Any]:
+        """This sweep as a versioned RunReport (see
+        :func:`repro.obs.report.sweep_run_report`) -- the diffable
+        artifact ``repro sweep --report`` / ``repro chaos --report``
+        emit.  Built only from the deterministic payload."""
+        from repro.obs.report import sweep_run_report
+
+        return sweep_run_report(self, kind=kind)
+
     def summary(self) -> str:
         n = self.spec.n_units
         mode = (

@@ -145,6 +145,80 @@ class TestBrokenRebindingIsCaught:
         table = verdict_table(result)
         assert "FAIL" in table and "PASS" not in table
 
+    def test_replay_failing_run_writes_loadable_bundle(self, tmp_path):
+        from repro.faults import replay_failing_run
+        from repro.obs import load_postmortem
+
+        result = run_campaign(schedules=["drop"], seeds=1, master_seed=0,
+                              messages=20, break_rebinding=True)
+        assert not campaign_ok(result)
+        bundle_dir = replay_failing_run(result, str(tmp_path / "bundle"))
+        assert bundle_dir is not None
+        bundle = load_postmortem(bundle_dir)
+        manifest = bundle["manifest"]
+        assert manifest["reason"] == "invariant-violation"
+        assert manifest["context"]["scenario"] == "chaos"
+        assert manifest["context"]["schedule"] == "drop"
+        assert manifest["context"]["seed"] == result.spec.unit_seed(0, 0)
+        assert not bundle["invariants"]["ok"]
+        assert bundle["invariants"]["summary"]["no-residual-dependency"] > 0
+        # The trace tail captured real traffic up to the violation.
+        assert bundle["trace"]["traceEvents"]
+        assert bundle["metrics"]["cluster"]
+
+    def test_replay_on_clean_campaign_returns_none(self, tmp_path):
+        from repro.faults import replay_failing_run
+
+        result = run_campaign(schedules=["drop"], seeds=1, master_seed=0,
+                              messages=10)
+        assert campaign_ok(result)
+        assert replay_failing_run(result, str(tmp_path)) is None
+
+    def test_chaos_cli_exits_nonzero_and_dumps_postmortem(self, tmp_path,
+                                                          capsys):
+        from repro.__main__ import main
+        from repro.obs import load_postmortem
+
+        bundle_dir = tmp_path / "pm"
+        rc = main(["chaos", "--schedules", "drop", "--seeds", "1",
+                   "--messages", "20", "--break-rebinding",
+                   "--postmortem", str(bundle_dir)])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "FAIL" in captured.out
+        assert "postmortem bundle" in captured.err
+        assert load_postmortem(str(bundle_dir))["manifest"][
+            "reason"] == "invariant-violation"
+
+    def test_chaos_cli_clean_run_exits_zero_no_bundle(self, tmp_path,
+                                                      capsys):
+        from repro.__main__ import main
+
+        bundle_dir = tmp_path / "pm"
+        rc = main(["chaos", "--schedules", "drop", "--seeds", "1",
+                   "--messages", "10", "--postmortem", str(bundle_dir)])
+        capsys.readouterr()
+        assert rc == 0
+        assert not bundle_dir.exists()
+
+    def test_postmortem_replay_does_not_perturb_verdict_payload(
+            self, tmp_path):
+        # The armed replay enables tracing/metrics; the deterministic
+        # verdict fields must match the unarmed run exactly.
+        import json
+
+        base = chaos_scenario(
+            dict(self.CONFIG, break_rebinding=True), seed=42
+        )
+        armed = chaos_scenario(
+            dict(self.CONFIG, break_rebinding=True,
+                 postmortem_dir=str(tmp_path / "pm")),
+            seed=42,
+        )
+        armed.pop("postmortem")
+        assert json.dumps(armed, sort_keys=True, default=str) == \
+            json.dumps(base, sort_keys=True, default=str)
+
 
 class TestVerdictTable:
     def test_table_lists_every_schedule_and_invariant(self):

@@ -1,0 +1,211 @@
+"""Span-tree analysis (repro.obs.critical_path)."""
+
+from repro.obs import (
+    critical_path,
+    phase_breakdown,
+    render_breakdown,
+    render_profile,
+    self_time_us,
+    span_profile,
+)
+from repro.obs.critical_path import covered_us
+from repro.sim import Simulator
+
+
+def tracer_with(spans):
+    """Build a tracer holding ``spans``: (category, name, start_us,
+    end_us-or-None, parent-key-or-None) tuples, keyed by name.  The sim
+    clock is driven through each begin/end time in order."""
+    sim = Simulator(seed=0)
+    trace = sim.trace
+    trace.enable("*")
+    ids = {}
+
+    def begin(key, category, parent):
+        # "name#2"-style keys let two spans share a display name.
+        ids[key] = trace.begin_span(
+            category, key.split("#")[0], parent=ids.get(parent)
+        )
+
+    def end(key):
+        trace.end_span(ids[key])
+
+    events = []
+    for category, name, start, end_us, parent in spans:
+        events.append((start, 0, begin, (name, category, parent)))
+        if end_us is not None:
+            events.append((end_us, 1, end, (name,)))
+    for at, _, fn, fn_args in sorted(events, key=lambda e: (e[0], e[1])):
+        sim.schedule(at - sim.now, fn, *fn_args)
+        sim.run()
+    return trace, ids
+
+
+class TestSelfTime:
+    def test_leaf_self_time_is_duration(self):
+        trace, ids = tracer_with([("m", "root", 0, 100, None)])
+        span = trace.span(ids["root"])
+        assert self_time_us(trace, span) == 100
+        assert covered_us(trace, span) == 0
+
+    def test_children_subtract_from_self_time(self):
+        trace, ids = tracer_with([
+            ("m", "root", 0, 100, None),
+            ("m", "a", 10, 40, "root"),
+            ("m", "b", 60, 90, "root"),
+        ])
+        root = trace.span(ids["root"])
+        assert covered_us(trace, root) == 60
+        assert self_time_us(trace, root) == 40
+
+    def test_overlapping_children_count_once(self):
+        trace, ids = tracer_with([
+            ("m", "root", 0, 100, None),
+            ("m", "a", 10, 50, "root"),
+            ("m", "b", 30, 70, "root"),
+        ])
+        root = trace.span(ids["root"])
+        assert covered_us(trace, root) == 60  # union of [10,50] and [30,70]
+        assert self_time_us(trace, root) == 40
+
+    def test_open_span_has_no_self_time(self):
+        trace, ids = tracer_with([("m", "root", 0, None, None)])
+        assert self_time_us(trace, trace.span(ids["root"])) is None
+
+    def test_child_clipped_to_parent(self):
+        # A child outliving its parent only covers the overlap.
+        trace, ids = tracer_with([
+            ("m", "root", 0, 50, None),
+            ("m", "late", 40, 120, "root"),
+        ])
+        root = trace.span(ids["root"])
+        assert covered_us(trace, root) == 10
+        assert self_time_us(trace, root) == 40
+
+
+class TestCriticalPath:
+    def test_descends_into_latest_finishing_child(self):
+        trace, ids = tracer_with([
+            ("m", "root", 0, 100, None),
+            ("m", "short", 10, 30, "root"),
+            ("m", "long", 40, 95, "root"),
+            ("m", "leaf", 50, 90, "long"),
+        ])
+        names = [s.name for s in critical_path(trace, ids["root"])]
+        assert names == ["root", "long", "leaf"]
+
+    def test_unknown_root_gives_empty_path(self):
+        trace, _ = tracer_with([("m", "root", 0, 10, None)])
+        assert critical_path(trace, 999) == []
+
+    def test_open_children_are_skipped(self):
+        trace, ids = tracer_with([
+            ("m", "root", 0, 100, None),
+            ("m", "open", 10, None, "root"),
+            ("m", "done", 20, 60, "root"),
+        ])
+        names = [s.name for s in critical_path(trace, ids["root"])]
+        assert names == ["root", "done"]
+
+
+class TestPhaseBreakdown:
+    def test_phases_sum_exactly_for_disjoint_children(self):
+        trace, ids = tracer_with([
+            ("m", "root", 0, 100, None),
+            ("m", "a#1", 0, 30, "root"),
+            ("m", "a#2", 30, 50, "root"),
+            ("m", "b", 50, 80, "root"),
+        ])
+        # Same-name spans collapse into one phase ("a" twice).
+        b = phase_breakdown(trace, ids["root"])
+        assert b["total_us"] == 100
+        by_name = {p["name"]: p["us"] for p in b["phases"]}
+        assert by_name == {"a": 50, "b": 30, "(self)": 20}
+        assert sum(p["us"] for p in b["phases"]) == b["total_us"]
+        assert abs(sum(p["share"] for p in b["phases"]) - 1.0) < 0.001
+
+    def test_unknown_or_open_root(self):
+        trace, ids = tracer_with([("m", "open", 0, None, None)])
+        assert phase_breakdown(trace, 999)["phases"] == []
+        assert phase_breakdown(trace, ids["open"])["phases"] == []
+
+    def test_render_breakdown_mentions_phases(self):
+        trace, ids = tracer_with([
+            ("m", "root", 0, 100, None),
+            ("m", "a", 0, 60, "root"),
+        ])
+        text = render_breakdown(phase_breakdown(trace, ids["root"]))
+        assert "root" in text and "a" in text and "(self)" in text
+
+
+class TestSpanProfile:
+    def test_aggregates_by_key_and_category(self):
+        trace, ids = tracer_with([
+            ("mig", "root", 0, 100, None),
+            ("ipc", "send", 10, 30, "root"),
+            ("ipc", "send", 40, 50, "root"),
+            ("ipc", "recv", 60, 65, "root"),
+        ])
+        profile = span_profile(trace)
+        assert profile["spans"] == 4
+        assert profile["open_spans"] == 0
+        send = profile["by_key"]["ipc/send"]
+        assert send["count"] == 2
+        assert send["total_us"] == 30
+        assert send["max_us"] == 20
+        ipc = profile["by_category"]["ipc"]
+        assert ipc["count"] == 3
+        assert ipc["total_us"] == 35
+        # Root delegated 35us to ipc; its self time shows that.
+        assert profile["by_key"]["mig/root"]["self_us"] == 65
+
+    def test_subtree_profile_excludes_siblings(self):
+        trace, ids = tracer_with([
+            ("m", "a", 0, 50, None),
+            ("m", "b", 60, 90, None),
+            ("m", "a-child", 10, 20, "a"),
+        ])
+        profile = span_profile(trace, root_id=ids["a"])
+        assert set(profile["by_key"]) == {"m/a", "m/a-child"}
+
+    def test_open_spans_counted_not_timed(self):
+        trace, ids = tracer_with([
+            ("m", "done", 0, 50, None),
+            ("m", "open", 10, None, None),
+        ])
+        profile = span_profile(trace)
+        assert profile["open_spans"] == 1
+        assert "m/open" not in profile["by_key"]
+
+    def test_render_profile(self):
+        trace, _ = tracer_with([("m", "root", 0, 100, None)])
+        assert "m/root" in render_profile(span_profile(trace))
+        assert render_profile(span_profile(trace, root_id=None)) != ""
+
+    def test_empty_tracer_profile(self):
+        sim = Simulator(seed=0)
+        profile = span_profile(sim.trace)
+        assert profile == {"spans": 0, "open_spans": 0,
+                           "by_key": {}, "by_category": {}}
+        assert render_profile(profile) == "(no ended spans)"
+
+
+class TestMigrationTrace:
+    def test_real_freeze_span_decomposes_to_stats(self):
+        # The real thing: phases of every freeze span sum exactly to
+        # MigrationStats.freeze_us (residual-copy children + self).
+        from repro.__main__ import _migrate_scenario
+
+        def setup(cluster):
+            cluster.sim.trace.enable("migration")
+
+        cluster, stats = _migrate_scenario("tex", 0, setup)
+        trace = cluster.sim.trace
+        freeze = [s for s in trace.find_spans("migration", "freeze")
+                  if s.end_us is not None]
+        assert freeze
+        total = sum(
+            sum(p["us"] for p in phase_breakdown(trace, s.span_id)["phases"])
+            for s in freeze
+        )
+        assert total == stats.freeze_us

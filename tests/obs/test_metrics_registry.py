@@ -47,9 +47,35 @@ class TestInstruments:
         for v in (1, 2, 3, 50):
             h.observe(v)
         assert h.mean == pytest.approx((1 + 2 + 3 + 50) / 4)
-        # Quantiles resolve to a bucket upper bound.
-        assert h.quantile(0.5) == 10
-        assert h.quantile(0.99) == 100
+        # Interpolated within the bucket: rank 2 of 3 in [min=1, 10]...
+        assert h.quantile(0.5) == pytest.approx(7.0)
+        # ...rank 0.2 of 1 in (10, 100]...
+        assert h.quantile(0.8) == pytest.approx(28.0)
+        # ...and a high quantile clamps to the observed max rather than
+        # extrapolating toward the bucket's upper bound.
+        assert h.quantile(0.99) == 50
+
+    def test_histogram_quantile_edges(self):
+        empty = Histogram("lat", "ws0", bounds=(10, 100))
+        assert empty.quantile(0.5) is None
+
+        h = Histogram("lat", "ws0", bounds=(10, 100, 1000))
+        for v in (1, 2, 3, 50):
+            h.observe(v)
+        # q=0 is the smallest observation, q=1 clamps to the largest.
+        assert h.quantile(0) == 1
+        assert h.quantile(1) == 50
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+        with pytest.raises(ValueError):
+            h.quantile(-0.1)
+
+    def test_histogram_quantile_single_open_bucket_value(self):
+        h = Histogram("lat", "ws0", bounds=(10,))
+        h.observe(500)  # lands in the open-ended bucket
+        assert h.quantile(0) == 500
+        assert h.quantile(0.5) == 500
+        assert h.quantile(1) == 500
 
     def test_histogram_rejects_bad_bounds(self):
         with pytest.raises(ValueError):

@@ -46,6 +46,43 @@ class TestSelfProfiler:
         assert "self-profile" in text
         assert "1 events" in text
 
+    def test_exception_mid_run_keeps_partial_accounting(self):
+        sim = Simulator(seed=0)
+        profiler = SelfProfiler(sim)
+
+        def boom():
+            raise RuntimeError("mid-run failure")
+
+        sim.schedule(10, burn)
+        sim.schedule(20, boom)
+        sim.schedule(30, burn)
+        import pytest
+        with pytest.raises(RuntimeError, match="mid-run failure"):
+            sim.run()
+        # The event before the crash was accounted; the simulator is
+        # reusable afterwards and the remaining event still runs.
+        assert profiler.report()["events"] >= 1
+        sim.run()
+        rep = profiler.report()
+        assert rep["events"] == 2
+        assert rep["modeled_us"] >= 30
+
+    def test_nested_scheduling_across_modules(self):
+        # Events scheduled from inside other events are attributed to
+        # their own callable's module, not the scheduler's.
+        sim = Simulator(seed=0)
+        profiler = SelfProfiler(sim)
+
+        def outer():
+            sim.schedule(5, burn)  # burn lives in this test module too
+
+        sim.schedule(10, outer)
+        sim.run()
+        rep = profiler.report()
+        assert rep["events"] == 2
+        assert rep["categories"][__name__]["events"] == 2
+        assert rep["modeled_us"] == 15
+
     def test_profiled_run_matches_unprofiled_trajectory(self):
         def scenario(sim):
             order = []

@@ -70,7 +70,60 @@ class TestChromeEvents:
         assert "parent_id" not in events["root"]["args"]
 
 
+class TestWindows:
+    def test_half_open_window_on_records(self):
+        sim = Simulator(seed=0)
+        sim.trace.enable("*")
+        for at in (100, 200, 300):
+            sim.schedule(at - sim.now, lambda a=at: sim.trace.record(
+                "net", f"t{a}"))
+            sim.run()
+        events = chrome_trace_events(sim.trace, since_us=100, until_us=300)
+        names = [e["name"] for e in events if e["ph"] == "i"]
+        # [100, 300): 100 and 200 in, 300 out.
+        assert names == ["t100", "t200"]
+
+    def test_spans_windowed_by_start_time(self):
+        sim = Simulator(seed=0)
+        sim.trace.enable("*")
+        early = sim.trace.begin_span("m", "early")
+        sim.schedule(500, lambda: sim.trace.end_span(early))
+        sim.schedule(200, lambda: sim.trace.end_span(
+            sim.trace.begin_span("m", "mid")))
+        sim.run()
+        names = [e["name"] for e in chrome_trace_events(
+            sim.trace, since_us=100) if e["ph"] == "X"]
+        # "early" started at 0, before the window, even though it ends
+        # inside it; "mid" started (and ended) at 200.
+        assert names == ["mid"]
+
+    def test_export_timeline_passes_window_through(self):
+        sim = traced_sim()  # span [0, 500], record at 100
+        payload = export_timeline(sim.trace, since_us=101)
+        assert all(e["ph"] == "M" for e in payload["traceEvents"])
+
+    def test_window_prunes_metadata_tracks(self):
+        sim = traced_sim()
+        events = chrome_trace_events(sim.trace, since_us=50, until_us=150)
+        # Only the record at 100 (host ws0) is in the window, so ws1
+        # gets no process track.
+        process_names = {e["args"]["name"] for e in events
+                         if e["ph"] == "M" and e["name"] == "process_name"}
+        assert process_names == {"sim", "ws0"}
+
+
 class TestExport:
+    def test_empty_tracer_exports_valid_payload(self, tmp_path):
+        sim = Simulator(seed=0)  # tracing never enabled: no spans/records
+        out = tmp_path / "empty.json"
+        payload = export_timeline(sim.trace, out=str(out))
+        on_disk = json.loads(out.read_text())
+        assert on_disk == payload
+        # Only the "sim" process metadata track survives.
+        assert [e["ph"] for e in on_disk["traceEvents"]] == ["M"]
+        assert on_disk["traceEvents"][0]["args"]["name"] == "sim"
+
+
     def test_export_writes_valid_json(self, tmp_path):
         sim = traced_sim()
         out = tmp_path / "timeline.json"

@@ -96,6 +96,24 @@ class TestRunSweepSerial:
         assert merged["sim_time_us"] == 5          # max
         assert merged["sim_time_us_total"] == 20   # sum
 
+    def test_run_report_rolls_up_the_sweep(self):
+        from repro.obs.report import RUN_REPORT_VERSION
+
+        spec = SweepSpec.from_grid("_test_echo", {"x": [10, 20]},
+                                   replications=2, master_seed=3,
+                                   collect_metrics=True)
+        report = run_sweep(spec).run_report()
+        assert report["run_report_version"] == RUN_REPORT_VERSION
+        assert report["kind"] == "sweep"
+        assert report["seed"] == 3
+        assert report["config"]["scenario"] == "_test_echo"
+        assert report["config"]["replications"] == 2
+        assert report["kpis"]["runs"] == 4
+        assert report["metrics"]["cluster"]["test.runs"] == 4
+        # Deterministic: serial and parallel report identically.
+        assert json.dumps(report, sort_keys=True) == json.dumps(
+            run_sweep(spec).run_report(), sort_keys=True)
+
     def test_deterministic_failure_propagates(self):
         spec = SweepSpec(scenario="_test_echo", configs=({"boom": True},))
         with pytest.raises(SimulationError):
