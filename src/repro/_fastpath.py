@@ -25,13 +25,39 @@ trajectory-neutral -- they change which packets exist -- so they default
 campaigns).  ``FASTPATH.copy_runs`` -- extent-coalesced run descriptors
 instead of per-page lists -- *is* trajectory-neutral and rides the
 default-on block.
+
+``FASTPATH.event_wheel`` selects the hybrid event core (now-queue +
+timer wheel + overflow heap, see :class:`repro.sim.engine.WheelSimulator`)
+when a ``Simulator`` is constructed.  It is trajectory-neutral -- pop
+order is provably identical to the reference heap -- but being the
+engine's foundation it is flipped *explicitly*, not by ``set_all``:
+benchmarks that A/B the PR 2-era fast paths keep whichever event core
+the run was started with.  It defaults off; set ``REPRO_EVENT_WHEEL=1``
+in the environment (as one CI job does for the whole test suite) or
+assign ``FASTPATH.event_wheel = True`` before building a simulator to
+opt in.
 """
 
 from __future__ import annotations
 
+import os
+
+
+def _env_flag(name: str, default: bool) -> bool:
+    """Read a boolean toggle from the environment ("1"/"true" on)."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    return raw.strip().lower() in ("1", "true", "yes", "on")
+
 
 class FastPathFlags:
-    """One boolean per independently toggleable fast path (default on)."""
+    """One boolean per independently toggleable fast path (default on).
+
+    ``event_wheel`` is the exception: it picks the event core itself, is
+    exempt from :meth:`set_all`, and defaults to the
+    ``REPRO_EVENT_WHEEL`` environment toggle (off when unset).
+    """
 
     __slots__ = (
         "packet_pool",
@@ -41,15 +67,22 @@ class FastPathFlags:
         "handler_cache",
         "cost_memo",
         "copy_runs",
+        "event_wheel",
     )
+
+    #: Switches that set_all leaves alone (explicit opt-in only).
+    _SET_ALL_EXEMPT = frozenset({"event_wheel"})
 
     def __init__(self) -> None:
         self.set_all(True)
+        self.event_wheel = _env_flag("REPRO_EVENT_WHEEL", False)
 
     def set_all(self, enabled: bool) -> None:
-        """Switch every fast path on or off at once."""
+        """Switch every fast path on or off at once (except the
+        explicit-only event-core switch)."""
         for name in self.__slots__:
-            setattr(self, name, enabled)
+            if name not in self._SET_ALL_EXEMPT:
+                setattr(self, name, enabled)
 
     def snapshot(self) -> dict:
         """Current switch positions (for benchmark payloads)."""

@@ -78,6 +78,8 @@ class CopyEngine:
     def __init__(self, transport):
         self.transport = transport
         self.sim = transport.sim
+        #: Cached bound ``sim.schedule`` for the pacing loops.
+        self._sched = self.sim.schedule
         self.model = transport.model
         self.nic = transport.nic
         #: Pacing interval for one page; bulk_copy_us is a pure function
@@ -163,7 +165,7 @@ class CopyEngine:
             PAGE_SIZE,
         )
         self.pacing_events += 1
-        self.sim.schedule(
+        self._sched(
             self._page_pace_us(),
             self._send_page, record, address, pages, i + 1,
         )
@@ -195,7 +197,7 @@ class CopyEngine:
             PAGE_SIZE * k,
         )
         self.pacing_events += 1
-        self.sim.schedule(
+        self._sched(
             k * self._page_pace_us(),
             self._send_burst, record, address, pages, i + k,
         )
@@ -303,17 +305,19 @@ class CopyEngine:
             self._m_pages.inc(len(snapshots))
             self._m_bytes.inc(PAGE_SIZE * len(snapshots))
 
-        def apply():
-            target = self.find_copy_target(record.dst)
-            if target is None:
-                self.transport._fail_client(
-                    record, NoSuchProcessError(f"{record.dst} vanished")
-                )
-                return
-            target.space.apply_copy(snapshots)
-            self.transport._complete_client(record, len(snapshots))
+        self._sched(cost, self._apply_local_copyto, record, snapshots)
 
-        self.sim.schedule(cost, apply)
+    def _apply_local_copyto(self, record, snapshots) -> None:
+        """Land a local CopyTo after its modelled copy cost (bound
+        method; the landing used to be a per-call closure)."""
+        target = self.find_copy_target(record.dst)
+        if target is None:
+            self.transport._fail_client(
+                record, NoSuchProcessError(f"{record.dst} vanished")
+            )
+            return
+        target.space.apply_copy(snapshots)
+        self.transport._complete_client(record, len(snapshots))
 
     # ----------------------------------------------------- CopyFrom (pull)
 
@@ -325,7 +329,7 @@ class CopyEngine:
             record = self.transport._clients.get((src, seq))
             if record is not None:
                 cost = self.model.local_copy_us_per_page * len(snapshots)
-                self.sim.schedule(
+                self._sched(
                     cost, self.transport._complete_client, record, snapshots
                 )
             return
@@ -357,7 +361,7 @@ class CopyEngine:
                 PAGE_SIZE,
             )
             self.pacing_events += 1
-            self.sim.schedule(
+            self._sched(
                 self._page_pace_us(),
                 self._stream_reply, src, seq, snapshots, address, i + 1,
             )
@@ -380,7 +384,7 @@ class CopyEngine:
                 PAGE_SIZE * k,
             )
             self.pacing_events += 1
-            self.sim.schedule(
+            self._sched(
                 k * self._page_pace_us(),
                 self._stream_reply_burst, src, seq, snapshots, address, i + k,
             )

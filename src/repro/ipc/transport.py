@@ -146,6 +146,10 @@ class Transport:
 
     def __init__(self, sim, kernel, nic, model):
         self.sim = sim
+        #: Cached bound ``sim.schedule`` -- the transport arms more
+        #: timers than anything else in the tree, and the cached bound
+        #: method saves an attribute hop on every one of them.
+        self._sched = sim.schedule
         self.kernel = kernel
         self.nic = nic
         self.model = model
@@ -279,7 +283,7 @@ class Transport:
         record.pcb.client_record = record
         self._clients[record.key] = record
         self._transmit(record)
-        record.timer = self.sim.schedule(
+        record.timer = self._sched(
             self._record_interval(record), self._retransmit, record
         )
 
@@ -326,7 +330,7 @@ class Transport:
                 if address is None:
                     self.local_requests += 1
                     cache.note_fast_hit(cached=False)
-                    self.sim.schedule(route[3], self._deliver_request_local, record)
+                    self._sched(route[3], self._deliver_request_local, record)
                 else:
                     self.remote_requests += 1
                     cache.note_fast_hit()
@@ -346,7 +350,7 @@ class Transport:
                 if len(routes) >= _ROUTE_MEMO_MAX:
                     routes.clear()
                 routes[dst] = (cache.epoch, wellknown, None, delay)
-            self.sim.schedule(delay, self._deliver_request_local, record)
+            self._sched(delay, self._deliver_request_local, record)
             return
         address = cache.lookup(lhid)
         if address is not None:
@@ -427,7 +431,7 @@ class Transport:
             if self.metrics.active:
                 self._m_retrans.inc()
             self._transmit(record)
-        record.timer = self.sim.schedule(
+        record.timer = self._sched(
             self._record_interval(record), self._retransmit, record
         )
 
@@ -522,7 +526,7 @@ class Transport:
             # The ~100 us group-id indirection (paper §4.1) applies on
             # the serving side for remote requests too.
             self.group_lookups += 1
-            self.sim.schedule(
+            self._sched(
                 self.model.group_id_lookup_us,
                 self._dispatch_request, payload, packet.src,
             )
@@ -646,7 +650,7 @@ class Transport:
             raise IpcError(f"{pcb.name} has no message from {dst} to decline")
         record.declined = True
         record.last_activity = self.sim.now
-        self.sim.schedule(
+        self._sched(
             self.model.reply_retention_us, self._expire_server_record, record
         )
 
@@ -685,7 +689,7 @@ class Transport:
         else:
             # Logical host no longer local: restart as a remote send
             # (paper §3.1.3, local senders after a migration).
-            self.sim.schedule(0, self._transmit, client)
+            self._sched(0, self._transmit, client)
 
     def _on_reply_pending(self, packet: Packet) -> None:
         payload = packet.payload
@@ -727,7 +731,7 @@ class Transport:
         record.reply_message = message
         record.last_activity = self.sim.now
         self._send_reply_packet(record)
-        self.sim.schedule(
+        self._sched(
             self.model.reply_retention_us, self._expire_server_record, record
         )
 
@@ -737,7 +741,7 @@ class Transport:
         ):
             client = self._clients.get((record.sender, record.seq))
             if client is not None:
-                self.sim.schedule(
+                self._sched(
                     self.model.local_rpc_us // 2,
                     self._complete_client,
                     client,
@@ -750,7 +754,7 @@ class Transport:
             # sender's own host): resolve by broadcast and retry while the
             # record is retained.
             self._broadcast_ghq(record.sender.logical_host_id)
-            self.sim.schedule(
+            self._sched(
                 self.model.retransmit_interval_us // 2, self._retry_reply, record
             )
             return
@@ -778,7 +782,7 @@ class Transport:
         suppression and deliver the request a second time."""
         deadline = record.last_activity + self.model.reply_retention_us
         if self.sim.now < deadline:
-            self.sim.schedule(
+            self._sched(
                 deadline - self.sim.now, self._expire_server_record, record
             )
             return
@@ -829,10 +833,13 @@ class Transport:
             record.pcb.client_record = None
         if record.pcb.alive:
             self.kernel.scheduler.make_ready(record.pcb, message)
-        self.sim.schedule(
-            self.model.reply_retention_us,
-            lambda: self._clients.pop(record.key, None),
-        )
+        self._sched(self.model.reply_retention_us, self._expire_client, record.key)
+
+    def _expire_client(self, key) -> None:
+        """Drop a completed client record once its reply-retention window
+        lapses (bound method: the retention sweep used to be the
+        transport's last per-call closure allocation)."""
+        self._clients.pop(key, None)
 
     def group_replies(self, pcb: Pcb) -> List[Tuple[Pid, Message]]:
         """All replies collected so far for the process's most recent
@@ -860,7 +867,7 @@ class Transport:
         record.last_activity = self.sim.now
         # The forwarder is no longer responsible for a reply; keep the
         # record only to absorb retransmissions, then let it expire.
-        self.sim.schedule(
+        self._sched(
             self.model.reply_retention_us, self._expire_server_record, record
         )
         payload = {
@@ -879,7 +886,7 @@ class Transport:
             self._broadcast_ghq(to.logical_host_id)
             # Best effort: retry the forward shortly; the sender's
             # retransmissions to us keep the operation alive meanwhile.
-            self.sim.schedule(
+            self._sched(
                 self.model.retransmit_interval_us // 2,
                 self._retry_forward,
                 record,
@@ -898,7 +905,7 @@ class Transport:
         address = self.cache.lookup(to.logical_host_id)
         if address is None:
             self._broadcast_ghq(to.logical_host_id)
-            self.sim.schedule(
+            self._sched(
                 self.model.retransmit_interval_us,
                 self._retry_forward,
                 record,
@@ -1031,13 +1038,13 @@ class Transport:
             self._clients[record.key] = record
             if not record.completed:
                 record.retries_left = self.model.max_retransmissions
-                record.timer = self.sim.schedule(0, self._retransmit_adopted, record)
+                record.timer = self._sched(0, self._retransmit_adopted, record)
         for record in state["servers"]:
             self._servers[record.key] = record
             if not record.replied:
                 self._pending_push(record)
             else:
-                self.sim.schedule(
+                self._sched(
                     self.model.reply_retention_us, self._expire_server_record, record
                 )
 
@@ -1046,7 +1053,7 @@ class Transport:
         if record.completed:
             return
         self._transmit(record)
-        record.timer = self.sim.schedule(
+        record.timer = self._sched(
             self._record_interval(record), self._retransmit, record
         )
 

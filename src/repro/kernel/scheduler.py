@@ -49,6 +49,8 @@ class Scheduler:
 
     def __init__(self, sim, kernel, model):
         self.sim = sim
+        #: Cached bound ``sim.schedule`` for the dispatch/compute chains.
+        self._sched = sim.schedule
         self.kernel = kernel
         self.model = model
         self._queues: Dict[int, deque] = {}
@@ -182,7 +184,7 @@ class Scheduler:
         self._save_compute_progress(pcb)
         chunk = min(pcb.remaining_us, self.model.time_slice_us)
         self._compute_started_at = self.sim.now
-        self._completion_timer = self.sim.schedule(
+        self._completion_timer = self._sched(
             chunk, self._compute_done, pcb, chunk
         )
 
@@ -263,7 +265,7 @@ class Scheduler:
         if self._dispatch_pending:
             return
         self._dispatch_pending = True
-        self.sim.schedule(0, self._dispatch)
+        self._sched(0, self._dispatch)
 
     def _dispatch(self) -> None:
         self._dispatch_pending = False
@@ -280,7 +282,7 @@ class Scheduler:
             self._m_switches.inc()
             self._m_switch_us.inc(switch)
             self._m_runq.set(self.ready_count())
-        self.sim.schedule(switch, self._execute, pcb)
+        self._sched(switch, self._execute, pcb)
 
     def _execute(self, pcb: Pcb) -> None:
         """Run the current process: resume its compute or interpret the
@@ -317,7 +319,7 @@ class Scheduler:
         )
         chunk = min(pcb.remaining_us, slice_us) if peers_waiting else pcb.remaining_us
         self._compute_started_at = self.sim.now
-        self._completion_timer = self.sim.schedule(chunk, self._compute_done, pcb, chunk)
+        self._completion_timer = self._sched(chunk, self._compute_done, pcb, chunk)
 
     def _compute_done(self, pcb: Pcb, chunk: int) -> None:
         if self.running is not pcb:
@@ -359,7 +361,7 @@ class Scheduler:
             if pcb.remaining_us > 0:
                 self._begin_compute(pcb)
             else:
-                self.sim.schedule(charge, self._execute, pcb)
+                self._sched(charge, self._execute, pcb)
         elif isinstance(instruction, Touch):
             fault_us = 0
             if pcb.space.pager is not None:
@@ -368,14 +370,14 @@ class Scheduler:
                 )
                 self.busy_us += fault_us
             pcb.space.touch(instruction.offset, instruction.nbytes, instruction.write)
-            self.sim.schedule(charge + fault_us, self._execute, pcb)
+            self._sched(charge + fault_us, self._execute, pcb)
         elif isinstance(instruction, TouchPages):
             fault_us = 0
             if pcb.space.pager is not None:
                 fault_us = pcb.space.pager.service_faults(instruction.indexes)
                 self.busy_us += fault_us
             pcb.space.touch_pages(instruction.indexes, instruction.write)
-            self.sim.schedule(charge + fault_us, self._execute, pcb)
+            self._sched(charge + fault_us, self._execute, pcb)
         elif isinstance(instruction, Send):
             pcb.messages_sent += 1
             self._stop_running()
@@ -393,25 +395,25 @@ class Scheduler:
                     )
                 pcb.messages_received += 1
                 pcb.resume_value = (record.sender, record.message)
-                self.sim.schedule(charge, self._execute, pcb)
+                self._sched(charge, self._execute, pcb)
             else:
                 self._stop_running()
                 pcb.state = ProcessState.RECEIVING
                 self._schedule_dispatch()
         elif isinstance(instruction, Reply):
             self.kernel.ipc.reply_from(pcb, instruction.dst, instruction.message)
-            self.sim.schedule(charge, self._execute, pcb)
+            self._sched(charge, self._execute, pcb)
         elif isinstance(instruction, Decline):
             self.kernel.ipc.decline_from(pcb, instruction.dst)
-            self.sim.schedule(charge, self._execute, pcb)
+            self._sched(charge, self._execute, pcb)
         elif isinstance(instruction, GetReplies):
             pcb.resume_value = self.kernel.ipc.group_replies(pcb)
-            self.sim.schedule(charge, self._execute, pcb)
+            self._sched(charge, self._execute, pcb)
         elif isinstance(instruction, Forward):
             self.kernel.ipc.forward_from(
                 pcb, instruction.original_sender, instruction.message, instruction.to
             )
-            self.sim.schedule(charge, self._execute, pcb)
+            self._sched(charge, self._execute, pcb)
         elif isinstance(instruction, CopyToInstr):
             self._stop_running()
             pcb.state = ProcessState.AWAITING_REPLY
@@ -428,7 +430,7 @@ class Scheduler:
             self._stop_running()
             pcb.state = ProcessState.DELAYING
             pcb.delay_deadline = self.sim.now + instruction.us
-            self.sim.schedule(instruction.us, self._delay_done, pcb)
+            self._sched(instruction.us, self._delay_done, pcb)
             self._schedule_dispatch()
         elif isinstance(instruction, Exit):
             self.kernel.destroy_process(pcb, exit_code=instruction.code)

@@ -48,6 +48,8 @@ class Ethernet:
         faults=None,
     ):
         self.sim = sim
+        #: Cached bound ``sim.schedule`` for the delivery hot path.
+        self._sched = sim.schedule
         self.model = model
         self.loss = loss if loss is not None else NoLoss()
         #: Optional :class:`repro.faults.models.FaultPlane`; None (the
@@ -164,7 +166,7 @@ class Ethernet:
                 "net", "transmit", packet_id=packet.packet_id, kind=packet.kind,
                 src=str(packet.src), dst=str(packet.dst), size=size,
             )
-        self.sim.schedule(done - now, self._deliver, packet)
+        self._sched(done - now, self._deliver, packet)
 
     def _deliver(self, packet: Packet) -> None:
         if packet.is_broadcast:
@@ -218,7 +220,7 @@ class Ethernet:
                 )
             return True
         for copy in range(plan.duplicates):
-            self.sim.schedule(
+            self._sched(
                 plan.delay_us + (copy + 1) * max(1, plan.dup_delay_us),
                 nic.receive, packet,
             )
@@ -233,7 +235,7 @@ class Ethernet:
                     "net", "reorder", packet_id=packet.packet_id,
                     dst=str(nic.address), delay_us=plan.delay_us,
                 )
-            self.sim.schedule(plan.delay_us, nic.receive, packet)
+            self._sched(plan.delay_us, nic.receive, packet)
             return True
         return False
 

@@ -41,7 +41,8 @@ class Event:
         self.name = name
         self.triggered = False
         self.value: Any = None
-        self._callbacks: List[Callable[["Event"], None]] = []
+        #: Pending ``(callback, extra_args)`` registrations.
+        self._callbacks: List[tuple] = []
 
     def trigger(self, value: Any = None) -> None:
         """Fire the event, resuming all waiters at the current instant.
@@ -54,26 +55,30 @@ class Event:
         self.triggered = True
         self.value = value
         callbacks, self._callbacks = self._callbacks, []
-        for cb in callbacks:
-            self._sim.schedule(0, cb, self)
+        for cb, args in callbacks:
+            self._sim.schedule(0, cb, *args, self)
 
-    def on_trigger(self, callback: Callable[["Event"], None]) -> None:
-        """Register ``callback(event)`` to run when the event fires.
+    def on_trigger(self, callback: Callable[..., None], *args: Any) -> None:
+        """Register ``callback(*args, event)`` to run when the event fires.
+
+        The extra positional ``args`` let a waiter attach a preallocated
+        bound-method continuation carrying its wait token instead of
+        allocating a closure per registration (see ``Task._arm``).
 
         If the event already fired, the callback runs at the current
         instant (still via the event queue, never synchronously).
         """
         if self.triggered:
-            self._sim.schedule(0, callback, self)
+            self._sim.schedule(0, callback, *args, self)
         else:
-            self._callbacks.append(callback)
+            self._callbacks.append((callback, args))
 
-    def remove_callback(self, callback: Callable[["Event"], None]) -> None:
+    def remove_callback(self, callback: Callable[..., None]) -> None:
         """Deregister a pending callback; no-op if absent or already fired."""
-        try:
-            self._callbacks.remove(callback)
-        except ValueError:
-            pass
+        for i, (cb, _args) in enumerate(self._callbacks):
+            if cb == callback:
+                del self._callbacks[i]
+                return
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "triggered" if self.triggered else "pending"

@@ -3,6 +3,18 @@
 A :class:`Task` wraps a generator and advances it each time the thing it
 yielded fires.  The yield protocol is documented in
 :mod:`repro.sim.__init__`.
+
+Hot-path notes.  Arming a wait used to build a fresh ``resume`` closure
+(plus per-member lambdas for combinators) on every yield; stepping a
+task is the single hottest callback in every workload, so the
+continuations are now preallocated bound methods created once per task.
+The wait token that made stale callbacks inert travels *with* the
+continuation as a schedule/trigger argument instead of living in a
+closure cell.  Combinator bookkeeping (values, remaining count, the
+int-member timers) moved onto the task for the same reason -- and
+keeping the :class:`AnyOf` timers around lets the losing int-delay
+branches be *cancelled* on first fire instead of rotting in the event
+queue until their deadline.
 """
 
 from __future__ import annotations
@@ -43,24 +55,46 @@ class Task:
         self.result: Any = None
         self.exception: Optional[BaseException] = None
         self.interrupted = False
-        self._done_callbacks: List[Callable[["Task"], None]] = []
+        #: Pending ``(callback, extra_args)`` completion registrations.
+        self._done_callbacks: List[tuple] = []
         #: Monotonic token identifying the current wait; stale resume
-        #: callbacks (e.g. the losing branches of an AnyOf) compare their
-        #: captured token and do nothing if it moved on.
+        #: callbacks (e.g. the losing branches of an AnyOf) compare the
+        #: token they were armed with and do nothing if it moved on.
         self._wait_token = 0
+        #: The timer behind a plain int yield (cancelled if the wait is
+        #: abandoned by an interrupt).
         self._pending_timer = None
+        #: Timers behind the int members of the current combinator wait,
+        #: indexed like its waitables (None for non-int members); every
+        #: still-pending one is cancelled when the wait ends.
+        self._combo_timers: Optional[list] = None
+        self._combo_values: Optional[list] = None
+        self._combo_seen: Optional[list] = None
+        self._combo_remaining = 0
+        # Preallocated bound-method continuations: one attribute load
+        # per arm instead of a closure allocation per yield.
+        self._resume_cb = self._resume
+        self._resume_event_cb = self._resume_event
+        self._resume_task_cb = self._resume_task
+        self._throw_cb = self._throw
+        self._any_timer_cb = self._any_fire
+        self._any_event_cb = self._any_fire_event
+        self._any_task_cb = self._any_fire_task
+        self._all_timer_cb = self._all_fire
+        self._all_event_cb = self._all_fire_event
+        self._all_task_cb = self._all_fire_task
 
     # ------------------------------------------------------------- waiting
 
-    def on_done(self, callback: Callable[["Task"], None]) -> None:
-        """Register ``callback(task)`` for when this task completes.
+    def on_done(self, callback: Callable[..., None], *args: Any) -> None:
+        """Register ``callback(*args, task)`` for when this task completes.
 
         Runs at the current instant (via the event queue) if already done.
         """
         if self.finished:
-            self._sim.schedule(0, callback, self)
+            self._sim.schedule(0, callback, *args, self)
         else:
-            self._done_callbacks.append(callback)
+            self._done_callbacks.append((callback, args))
 
     # ------------------------------------------------------------ stepping
 
@@ -72,7 +106,21 @@ class Task:
         if self.finished:
             return
         self._wait_token += 1
-        self._pending_timer = None
+        # The previous wait is over: reap its timers so abandoned int
+        # delays (interrupts, the losing AnyOf branches) are cancelled
+        # instead of firing as stale no-ops.  The continuation that got
+        # us here cleared its own already-fired timer beforehand, so
+        # these cancels never touch a live heap entry needlessly.
+        pending = self._pending_timer
+        if pending is not None:
+            self._pending_timer = None
+            pending.cancel()
+        timers = self._combo_timers
+        if timers is not None:
+            self._combo_timers = None
+            for timer in timers:
+                if timer is not None:
+                    timer.cancel()
         try:
             if throw:
                 yielded = self._gen.throw(value)
@@ -103,96 +151,128 @@ class Task:
         if exception is not None:
             self._sim._record_failure(self, exception)
         callbacks, self._done_callbacks = self._done_callbacks, []
-        for cb in callbacks:
-            self._sim.schedule(0, cb, self)
+        for cb, args in callbacks:
+            self._sim.schedule(0, cb, *args, self)
 
     # ------------------------------------------------------ wait conversion
 
     def _arm(self, yielded: Any) -> None:
         """Register a continuation for whatever the generator yielded."""
+        sim = self._sim
         token = self._wait_token
-
-        def resume(value: Any = None, throw: bool = False) -> None:
-            if self._wait_token == token and not self.finished:
-                self._step(throw, value)
-
+        sim.closure_free_steps += 1
         if yielded is None:
-            self._sim.schedule(0, resume)
+            sim.schedule(0, self._resume_cb, token, None)
         elif isinstance(yielded, int):
             if yielded < 0:
                 raise SimulationError(f"task {self.name!r} yielded negative delay {yielded}")
-            self._pending_timer = self._sim.schedule(yielded, resume)
+            self._pending_timer = sim.schedule(yielded, self._resume_cb, token, None)
         elif isinstance(yielded, float):
             raise SimulationError(
                 f"task {self.name!r} yielded float delay {yielded}; simulated "
                 "time is integer microseconds -- yield an int"
             )
         elif isinstance(yielded, Event):
-            yielded.on_trigger(lambda ev: resume(ev.value))
+            yielded.on_trigger(self._resume_event_cb, token)
         elif isinstance(yielded, Task):
-            def task_done(t: Task) -> None:
-                if t.exception is not None:
-                    resume(t.exception, throw=True)
-                else:
-                    resume(t.result)
-
-            yielded.on_done(task_done)
+            yielded.on_done(self._resume_task_cb, token)
         elif isinstance(yielded, AnyOf):
-            self._arm_any(yielded, resume)
+            self._arm_combo(yielded, token, self._any_timer_cb,
+                            self._any_event_cb, self._any_task_cb)
         elif isinstance(yielded, AllOf):
-            self._arm_all(yielded, resume)
+            waitables = yielded.waitables
+            self._combo_values = [None] * len(waitables)
+            self._combo_seen = [False] * len(waitables)
+            self._combo_remaining = len(waitables)
+            self._arm_combo(yielded, token, self._all_timer_cb,
+                            self._all_event_cb, self._all_task_cb)
         else:
             raise SimulationError(
                 f"task {self.name!r} yielded unsupported waitable "
                 f"{type(yielded).__name__}: {yielded!r}"
             )
 
-    def _arm_any(self, combo: AnyOf, resume) -> None:
-        fired = [False]
+    def _arm_combo(self, combo, token: int, timer_cb, event_cb, task_cb) -> None:
+        """Attach the per-kind continuations to each combinator member."""
+        sim = self._sim
+        waitables = combo.waitables
+        timers = None
+        for index, member in enumerate(waitables):
+            if isinstance(member, int):
+                if member < 0:
+                    raise SimulationError("negative delay inside combinator")
+                timer = sim.schedule(member, timer_cb, token, index)
+                if timers is None:
+                    timers = [None] * len(waitables)
+                timers[index] = timer
+            elif isinstance(member, Event):
+                member.on_trigger(event_cb, token, index)
+            elif isinstance(member, Task):
+                member.on_done(task_cb, token, index)
+            else:
+                raise SimulationError(
+                    f"unsupported combinator member {type(member).__name__}"
+                )
+        self._combo_timers = timers
 
-        def fire(index: int, value: Any) -> None:
-            if fired[0]:
-                return
-            fired[0] = True
-            resume((index, value))
+    # -------------------------------------------------------- continuations
 
-        for index, member in enumerate(combo.waitables):
-            self._arm_member(member, lambda v, i=index: fire(i, v))
+    def _resume(self, token: int, value: Any) -> None:
+        if self._wait_token == token and not self.finished:
+            # The int-delay timer (if any) is the one that just fired;
+            # drop the handle so _step doesn't cancel a dead entry.
+            self._pending_timer = None
+            self._step(False, value)
 
-    def _arm_all(self, combo: AllOf, resume) -> None:
-        values: List[Any] = [None] * len(combo.waitables)
-        remaining = [len(combo.waitables)]
+    def _resume_event(self, token: int, ev) -> None:
+        if self._wait_token == token and not self.finished:
+            self._step(False, ev.value)
 
-        def fire(index: int, value: Any) -> None:
-            values[index] = value
-            remaining[0] -= 1
-            if remaining[0] == 0:
-                resume(list(values))
+    def _resume_task(self, token: int, task: "Task") -> None:
+        if self._wait_token == token and not self.finished:
+            if task.exception is not None:
+                self._step(True, task.exception)
+            else:
+                self._step(False, task.result)
 
-        seen_once = [False] * len(combo.waitables)
+    def _throw(self, token: int, exc: BaseException) -> None:
+        if self._wait_token == token and not self.finished:
+            self._step(True, exc)
 
-        def fire_once(index: int, value: Any) -> None:
-            if not seen_once[index]:
-                seen_once[index] = True
-                fire(index, value)
+    def _any_fire(self, token: int, index: int) -> None:
+        if self._wait_token == token and not self.finished:
+            # First branch wins; _step reaps the losing int-delay timers
+            # from _combo_timers (this one already fired -- cancelling a
+            # detached timer is a flag flip, not queue traffic).
+            self._step(False, (index, None))
 
-        for index, member in enumerate(combo.waitables):
-            self._arm_member(member, lambda v, i=index: fire_once(i, v))
+    def _any_fire_event(self, token: int, index: int, ev) -> None:
+        if self._wait_token == token and not self.finished:
+            self._step(False, (index, ev.value))
 
-    def _arm_member(self, member: Any, fire: Callable[[Any], None]) -> None:
-        """Attach ``fire(value)`` to one member of a combinator."""
-        if isinstance(member, int):
-            if member < 0:
-                raise SimulationError("negative delay inside combinator")
-            self._sim.schedule(member, fire, None)
-        elif isinstance(member, Event):
-            member.on_trigger(lambda ev: fire(ev.value))
-        elif isinstance(member, Task):
-            member.on_done(lambda t: fire(t.result))
-        else:
-            raise SimulationError(
-                f"unsupported combinator member {type(member).__name__}"
-            )
+    def _any_fire_task(self, token: int, index: int, task: "Task") -> None:
+        if self._wait_token == token and not self.finished:
+            self._step(False, (index, task.result))
+
+    def _all_fire(self, token: int, index: int, value: Any = None) -> None:
+        if self._wait_token != token or self.finished:
+            return
+        if self._combo_seen[index]:
+            return
+        self._combo_seen[index] = True
+        self._combo_values[index] = value
+        self._combo_remaining -= 1
+        if self._combo_remaining == 0:
+            values = self._combo_values
+            self._combo_values = None
+            self._combo_seen = None
+            self._step(False, list(values))
+
+    def _all_fire_event(self, token: int, index: int, ev) -> None:
+        self._all_fire(token, index, ev.value)
+
+    def _all_fire_task(self, token: int, index: int, task: "Task") -> None:
+        self._all_fire(token, index, task.result)
 
     # ----------------------------------------------------------- interrupts
 
@@ -200,17 +280,12 @@ class Task:
         """Throw :class:`Interrupted` into the task at the current instant.
 
         Whatever the task was waiting for is abandoned (its callback goes
-        stale).  Interrupting a finished task is a no-op.
+        stale and any pending int-delay timers are cancelled when the
+        throw lands).  Interrupting a finished task is a no-op.
         """
         if self.finished:
             return
-        token = self._wait_token
-
-        def do_throw() -> None:
-            if self._wait_token == token and not self.finished:
-                self._step(True, Interrupted(cause))
-
-        self._sim.schedule(0, do_throw)
+        self._sim.schedule(0, self._throw_cb, self._wait_token, Interrupted(cause))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "finished" if self.finished else "running"

@@ -1,0 +1,119 @@
+"""Heap vs wheel event-core equivalence on randomized programs.
+
+One randomized op program -- schedules across all three queue regimes
+(delay 0 -> now-queue, near -> wheel bucket, far -> overflow heap),
+cancellations, partial runs, task sleeps, interrupts and AnyOf
+combinators -- is interpreted twice, once on the reference heap core and
+once on the hybrid wheel core.  Fire order, the ``now`` trajectory,
+``event_count``, ``alive_event_count``, ``peek()`` and the ``_seq``
+allocation stream must be identical after every single op: the toggle
+may only change wall-clock cost, never the simulation.
+"""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro._fastpath import FASTPATH
+from repro.sim import AnyOf, Simulator
+from repro.sim.engine import _WHEEL_SPAN
+
+# Delays straddle the wheel span so every program can hit the now-queue,
+# the wheel and the overflow heap.
+_DELAY = st.integers(min_value=0, max_value=_WHEEL_SPAN + 10_000)
+
+_OP = st.one_of(
+    st.tuples(st.just("schedule"), _DELAY),
+    st.tuples(st.just("zero"), st.just(0)),
+    st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=255)),
+    st.tuples(st.just("run_events"), st.integers(min_value=1, max_value=8)),
+    st.tuples(st.just("run_until"), st.integers(min_value=0, max_value=50_000)),
+    st.tuples(st.just("sleeper"), _DELAY),
+    st.tuples(st.just("interrupt"), st.integers(min_value=0, max_value=300)),
+    st.tuples(st.just("anyof"), st.integers(min_value=0, max_value=120)),
+)
+
+_PROGRAM = st.lists(_OP, min_size=1, max_size=40)
+
+
+def _execute(ops, use_wheel):
+    saved = FASTPATH.event_wheel
+    FASTPATH.event_wheel = use_wheel
+    try:
+        sim = Simulator(seed=11)
+    finally:
+        FASTPATH.event_wheel = saved
+    assert sim.event_core == ("wheel" if use_wheel else "heap")
+
+    log = []
+    handles = []
+    tasks = []
+    tags = itertools.count()
+
+    def fire(tag):
+        log.append(("fire", sim.now, tag))
+
+    def sleeper(delay, tag):
+        yield delay
+        log.append(("wake", sim.now, tag))
+
+    def racer(delay, tag):
+        got = yield AnyOf([delay, delay + 37, 50_000])
+        log.append(("any", sim.now, tag, got[0]))
+
+    trail = []
+    for op, arg in ops:
+        if op == "schedule" or op == "zero":
+            handles.append(sim.schedule(arg, fire, next(tags)))
+        elif op == "cancel":
+            if handles:
+                handles[arg % len(handles)].cancel()
+        elif op == "run_events":
+            sim.run(max_events=arg)
+        elif op == "run_until":
+            sim.run(until_us=sim.now + arg)
+        elif op == "sleeper":
+            tasks.append(sim.spawn(sleeper(arg, next(tags))))
+        elif op == "interrupt":
+            if tasks:
+                sim.schedule(arg, tasks[arg % len(tasks)].interrupt)
+        elif op == "anyof":
+            tasks.append(sim.spawn(racer(arg, next(tags))))
+        trail.append(
+            (sim.now, sim.event_count, sim.alive_event_count, sim._seq, sim.peek())
+        )
+    sim.run()
+    trail.append((sim.now, sim.event_count, sim.alive_event_count, sim._seq))
+    return log, trail
+
+
+@given(ops=_PROGRAM)
+@settings(max_examples=60, deadline=None)
+def test_heap_and_wheel_trajectories_identical(ops):
+    assert _execute(ops, use_wheel=False) == _execute(ops, use_wheel=True)
+
+
+@given(
+    delays=st.lists(_DELAY, min_size=1, max_size=60),
+    cancel_every=st.integers(min_value=2, max_value=7),
+)
+@settings(max_examples=40, deadline=None)
+def test_fire_order_identical_under_cancellation_pressure(delays, cancel_every):
+    def run(use_wheel):
+        saved = FASTPATH.event_wheel
+        FASTPATH.event_wheel = use_wheel
+        try:
+            sim = Simulator()
+        finally:
+            FASTPATH.event_wheel = saved
+        fired = []
+        handles = [
+            sim.schedule(d, fired.append, i) for i, d in enumerate(delays)
+        ]
+        for h in handles[::cancel_every]:
+            h.cancel()
+        sim.run()
+        return fired, sim.now, sim.event_count, sim.alive_event_count
+
+    assert run(False) == run(True)

@@ -384,6 +384,27 @@ class TestInterrupts:
         # Interrupted at 50, then slept 500 more: resumes at 550, not 100.
         assert resumes == [550]
 
+    def test_interrupt_cancels_abandoned_timer(self):
+        from repro.sim import Interrupted
+
+        sim = Simulator()
+
+        def body():
+            try:
+                yield 10_000
+            except Interrupted:
+                pass
+
+        task = sim.spawn(body())
+        sim.schedule(50, task.interrupt)
+        sim.run()
+        # The abandoned 10 ms timer is cancelled when the throw lands,
+        # so the run is quiescent at the interrupt instant instead of
+        # dragging on to fire a stale no-op.
+        assert task.finished
+        assert sim.now == 50
+        assert sim.alive_event_count == 0
+
 
 class TestCombinators:
     def test_anyof_first_event_wins(self):
@@ -431,6 +452,41 @@ class TestCombinators:
         sim.schedule(100, ev.trigger, "fast")
         sim.run()
         assert got == [(0, "fast")]
+
+    def test_anyof_losing_timer_is_cancelled_on_event_win(self):
+        # Regression: the losing int-delay branch used to sit live in
+        # the queue until its deadline, inflating alive_event_count and
+        # dragging run() out to the stale timeout.
+        from repro.sim import AnyOf
+
+        sim = Simulator()
+        ev = sim.event()
+        got = []
+
+        def body():
+            got.append((yield AnyOf([ev, 10_000])))
+
+        sim.spawn(body())
+        sim.schedule(100, ev.trigger, "fast")
+        sim.run()
+        assert got == [(0, "fast")]
+        assert sim.now == 100  # not 10_000: the loser never fires
+        assert sim.alive_event_count == 0
+
+    def test_anyof_losing_timer_is_cancelled_on_timer_win(self):
+        from repro.sim import AnyOf
+
+        sim = Simulator()
+        got = []
+
+        def body():
+            got.append((yield AnyOf([5, 10_000])))
+
+        sim.spawn(body())
+        sim.run()
+        assert got == [(0, None)]
+        assert sim.now == 5
+        assert sim.alive_event_count == 0
 
     def test_allof_waits_for_every_member(self):
         from repro.sim import AllOf
