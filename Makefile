@@ -1,6 +1,6 @@
 # Convenience targets for the V-System reproduction.
 
-.PHONY: install test bench bench-smoke bench-sweep chaos-smoke report-smoke examples demo trace-demo all
+.PHONY: install test bench bench-smoke bench-sweep chaos-smoke report-smoke verify-smoke examples demo trace-demo all
 
 install:
 	pip install -e . || python setup.py develop
@@ -25,6 +25,15 @@ bench-smoke:
 chaos-smoke:
 	python -m repro chaos --seeds 10 --seed 7 --workers 2 --messages 20
 	python -m repro chaos --seeds 10 --seed 7 --workers 2 --messages 20 --copy-plane
+
+# Differential verification smoke: a sampled 8-cell toggle matrix must
+# pass clean, and the planted ordering mutation must be caught (a
+# harness that has never failed proves nothing).  REPRO_VERIFY_BUDGET=N
+# caps the cell count; the weekly CI job raises it and widens the
+# matrix (see docs/TESTING.md).
+verify-smoke:
+	python -m repro verify --matrix sample:8 --seed 7 --workers 2
+	python -m repro verify --matrix sample:8 --seed 7 --workers 2 --mutate skip-same-instant-cancel --expect-fail
 
 # Regenerate the canonical migration RunReport and diff it against the
 # checked-in BASELINE_report.json within a 1% tolerance: simulated

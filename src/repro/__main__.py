@@ -20,6 +20,11 @@
   ``MigrationStats.freeze_us``.
 * ``diff``    -- compare two RunReports under a tolerance: per-metric
   deltas plus per-subsystem time attribution (exit 1 beyond tolerance).
+* ``verify``  -- differential verification: run one scenario across a
+  matrix of toggle/fault/perturbation cells, assert each cell's
+  equivalence class against the baseline, and shrink any failure to a
+  minimal repro bundle (exit codes shared with ``diff``: 0 clean, 1 a
+  cell broke its class, 2 usage error).
 * ``info``    -- the calibrated hardware model and package layout.
 """
 
@@ -189,6 +194,7 @@ def cmd_diff(args: argparse.Namespace) -> int:
 
     from repro.errors import SimulationError
     from repro.obs import diff_reports, render_diff
+    from repro.obs.diff import EXIT_DIFFERENT, EXIT_OK, EXIT_USAGE
     from repro.obs.report import load_report
 
     try:
@@ -196,7 +202,7 @@ def cmd_diff(args: argparse.Namespace) -> int:
         report_b = load_report(args.b)
     except SimulationError as exc:
         print(f"diff: {exc}", file=sys.stderr)
-        return 2
+        return EXIT_USAGE
     diff = diff_reports(
         report_a, report_b, rel_tol=args.tolerance / 100.0,
         abs_tol=args.abs_tolerance,
@@ -205,7 +211,168 @@ def cmd_diff(args: argparse.Namespace) -> int:
         print(json.dumps(diff, indent=2, sort_keys=True))
     else:
         print(render_diff(diff, max_rows=args.max_rows))
-    return 0 if diff["ok"] else 1
+    return EXIT_OK if diff["ok"] else EXIT_DIFFERENT
+
+
+#: Toggle vectors the ``verify --copy-plane`` shorthand expands to.
+_COPY_PLANE_MODES = {
+    "off": {},
+    "burst": {"burst_pacing": True},
+    "adaptive": {"adaptive_precopy": True},
+    "both": {"burst_pacing": True, "adaptive_precopy": True},
+}
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.errors import SimulationError
+    from repro.obs.diff import EXIT_DIFFERENT, EXIT_OK, EXIT_USAGE
+    from repro.verify import (
+        build_matrix,
+        bundle_dir_for,
+        dump_repro,
+        make_cell,
+        minimize_failure,
+        mutation_names,
+        replay_bundle,
+        run_matrix,
+    )
+
+    tolerance = args.tolerance / 100.0
+
+    if args.replay:
+        try:
+            verdict = replay_bundle(args.replay, tolerance=tolerance)
+        except SimulationError as exc:
+            print(f"verify: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        repro_ctx = verdict["repro"]
+        print(f"replaying bundle {args.replay}:")
+        print(f"  toggles: {repro_ctx.get('toggles') or '(defaults)'}")
+        print(f"  perturb: {repro_ctx.get('perturb') or '(none)'}")
+        print(f"  mutation: {repro_ctx.get('mutation') or '(none)'}")
+        if verdict["still_fails"]:
+            for reason in verdict["reasons"]:
+                print(f"  reproduces: {reason}")
+            return EXIT_OK
+        print("  does NOT reproduce (fixed, or not a pure function of "
+              "the bundle's triple)")
+        return EXIT_DIFFERENT
+
+    if args.mutate and args.mutate not in mutation_names():
+        print(f"verify: unknown mutation {args.mutate!r}; "
+              f"known: {', '.join(mutation_names())}", file=sys.stderr)
+        return EXIT_USAGE
+    if args.copy_plane not in _COPY_PLANE_MODES:
+        print(f"verify: bad --copy-plane {args.copy_plane!r} "
+              f"(want {', '.join(sorted(_COPY_PLANE_MODES))})",
+              file=sys.stderr)
+        return EXIT_USAGE
+
+    extra_toggles = {}
+    for item in args.toggle or []:
+        name, eq, value = item.partition("=")
+        if not eq or value.lower() not in ("on", "off", "true", "false"):
+            print(f"verify: bad --toggle {item!r} "
+                  "(want NAME=on|off)", file=sys.stderr)
+            return EXIT_USAGE
+        extra_toggles[name] = value.lower() in ("on", "true")
+
+    try:
+        cells = build_matrix(args.matrix, seed=args.seed)
+        if extra_toggles:
+            cells.append(make_cell(extra_toggles))
+        if args.copy_plane != "off":
+            cells.append(make_cell(_COPY_PLANE_MODES[args.copy_plane]))
+    except SimulationError as exc:
+        print(f"verify: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    scenario_config = {"messages": args.messages}
+    try:
+        result = run_matrix(
+            cells,
+            base_seed=args.seed,
+            scenario_config=scenario_config,
+            workers=args.workers,
+            tolerance=tolerance,
+            mutation=args.mutate,
+        )
+    except SimulationError as exc:
+        print(f"verify: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+    print(result.summary())
+
+    payload = result.to_json()
+    if result.failures and not args.no_minimize:
+        # Shrink the widest failure (most toggle deltas) -- it proves
+        # the most reduction -- and dump the minimal triple as a bundle.
+        failure = max(
+            result.failures,
+            key=lambda f: len(result.cells[f["index"]]["toggles"]),
+        )
+        cell = result.cells[failure["index"]]
+        base_config = {
+            "base_seed": args.seed,
+            "scenario": "ordering",
+            "scenario_config": scenario_config,
+            "mutation": args.mutate,
+            "toggles": {},
+            "perturb": None,
+        }
+        try:
+            minimal = minimize_failure(
+                cell, base_config, result.results[0], tolerance=tolerance,
+            )
+            bundle = dump_repro(
+                minimal, bundle_dir_for(args.postmortem, cell["label"]),
+            )
+        except SimulationError as exc:
+            print(f"verify: minimizer failed: {exc}", file=sys.stderr)
+            return EXIT_DIFFERENT
+        print(minimal.summary())
+        print(f"repro bundle: {bundle}/", file=sys.stderr)
+        payload["minimal"] = minimal.to_json()
+
+    if args.out:
+        try:
+            with open(args.out, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        except OSError as exc:
+            print(f"verify: cannot write --out {args.out!r}: {exc}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        print(f"wrote {args.out}")
+    if args.report:
+        from repro.obs.report import new_report, write_report
+
+        report = new_report("verify", seed=args.seed,
+                            config={"matrix": args.matrix,
+                                    "mutation": args.mutate})
+        report["kpis"] = {
+            "cells": len(result.cells),
+            "failures": len(result.failures),
+        }
+        try:
+            write_report(report, args.report)
+        except OSError as exc:
+            print(f"verify: cannot write --report {args.report!r}: {exc}",
+                  file=sys.stderr)
+            return EXIT_USAGE
+        print(f"wrote run report {args.report}")
+
+    failed = not result.ok
+    if args.expect_fail:
+        # Mutation smoke: the harness must *catch* the planted bug.
+        if failed:
+            print("expected failure found (mutation caught)")
+            return EXIT_OK
+        print("verify: expected a failure but every cell passed",
+              file=sys.stderr)
+        return EXIT_DIFFERENT
+    return EXIT_DIFFERENT if failed else EXIT_OK
 
 
 def _fastpath_summary(cluster) -> str:
@@ -285,16 +452,20 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         merged = result.metrics
         print(f"  metrics merged from {merged['merged_from']} replications "
               f"({merged['sim_time_us_total'] / 1e6:.1f} simulated seconds total)")
-    if args.out:
-        with open(args.out, "w") as fh:
-            fh.write(result.to_json())
-            fh.write("\n")
-        print(f"  wrote {args.out}")
-    if args.report:
-        from repro.obs.report import write_report
+    try:
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(result.to_json())
+                fh.write("\n")
+            print(f"  wrote {args.out}")
+        if args.report:
+            from repro.obs.report import write_report
 
-        write_report(result.run_report(), args.report)
-        print(f"  wrote run report {args.report}")
+            write_report(result.run_report(), args.report)
+            print(f"  wrote run report {args.report}")
+    except OSError as exc:
+        print(f"sweep: cannot write output: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -325,16 +496,20 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         return 2
     print(f"chaos campaign: {result.summary()}")
     print(verdict_table(result))
-    if args.out:
-        with open(args.out, "w") as fh:
-            fh.write(result.to_json())
-            fh.write("\n")
-        print(f"wrote {args.out}")
-    if args.report:
-        from repro.obs.report import write_report
+    try:
+        if args.out:
+            with open(args.out, "w") as fh:
+                fh.write(result.to_json())
+                fh.write("\n")
+            print(f"wrote {args.out}")
+        if args.report:
+            from repro.obs.report import write_report
 
-        write_report(result.run_report(kind="chaos"), args.report)
-        print(f"wrote run report {args.report}")
+            write_report(result.run_report(kind="chaos"), args.report)
+            print(f"wrote run report {args.report}")
+    except OSError as exc:
+        print(f"chaos: cannot write output: {exc}", file=sys.stderr)
+        return 2
     if campaign_ok(result):
         return 0
     # Something fired: replay the first failing unit with the flight
@@ -471,6 +646,49 @@ def main(argv=None) -> int:
                       help="top movers to show in the table")
     diff.add_argument("--json", action="store_true",
                       help="emit the full diff as JSON instead of a table")
+    verify = sub.add_parser(
+        "verify", help="differential toggle-matrix verification"
+    )
+    verify.add_argument("--matrix", default="sample:8",
+                        metavar="sample:N|full",
+                        help="cell selection: a stratified sample or the "
+                             "full toggle product (default sample:8)")
+    verify.add_argument("--seed", type=int, default=0,
+                        help="base scenario seed (every cell replays it)")
+    verify.add_argument("--workers", type=int, default=1,
+                        help="sweep-pool worker processes for the matrix")
+    verify.add_argument("--messages", type=int, default=10,
+                        help="client requests per cell run")
+    verify.add_argument("--tolerance", type=float, default=75.0,
+                        metavar="PCT",
+                        help="relative KPI tolerance for tolerant-class "
+                             "cells, percent (default 75: copy-plane "
+                             "coalescing legitimately halves packet counts)")
+    verify.add_argument("--toggle", action="append", metavar="NAME=on|off",
+                        help="add one extra cell with these toggle deltas "
+                             "(repeatable; unknown names exit 2)")
+    verify.add_argument("--copy-plane", default="off",
+                        metavar="off|burst|adaptive|both",
+                        help="add one extra cell with this copy-plane mode")
+    verify.add_argument("--mutate", default=None, metavar="NAME",
+                        help="plant a named engine mutation in every cell "
+                             "(mutation smoke; see repro.verify.mutation)")
+    verify.add_argument("--expect-fail", action="store_true",
+                        help="exit 0 iff the matrix FAILS (for mutation "
+                             "smoke in make/CI)")
+    verify.add_argument("--postmortem", default="verify-postmortem",
+                        metavar="DIR",
+                        help="where minimized repro bundles land")
+    verify.add_argument("--no-minimize", action="store_true",
+                        help="report failures without shrinking them")
+    verify.add_argument("--out", default=None,
+                        help="write the full verify result JSON here")
+    verify.add_argument("--report", default=None, metavar="PATH",
+                        help="also write a RunReport JSON envelope")
+    verify.add_argument("--replay", default=None, metavar="BUNDLE",
+                        help="re-run a minimized repro bundle instead of "
+                             "exploring a matrix (exit 0 iff it still "
+                             "reproduces)")
     sub.add_parser("info", help="calibrated model summary")
     args = parser.parse_args(argv)
     command = args.command or "demo"
@@ -478,7 +696,8 @@ def main(argv=None) -> int:
         args.workstations, args.seed = 4, 42
     handler = {"demo": cmd_demo, "migrate": cmd_migrate, "trace": cmd_trace,
                "sweep": cmd_sweep, "chaos": cmd_chaos, "report": cmd_report,
-               "diff": cmd_diff, "info": cmd_info}[command]
+               "diff": cmd_diff, "verify": cmd_verify,
+               "info": cmd_info}[command]
     return handler(args)
 
 

@@ -128,3 +128,32 @@ FASTPATH = FastPathFlags()
 
 #: The copy data-plane switch block (default off; see CopyPlaneFlags).
 COPY_PLANE = CopyPlaneFlags()
+
+
+def knob_domains() -> dict:
+    """Every toggleable knob name -> its switch block ("fastpath" or
+    "copy_plane"), the single source of truth the differential
+    verification matrix (:mod:`repro.verify`) builds toggle vectors
+    from.  ``fastpath`` knobs are trajectory-preserving (byte-identical
+    equivalence class); ``copy_plane`` knobs change the modelled
+    trajectory (tolerance-diffed class)."""
+    domains = {name: "fastpath" for name in FastPathFlags.__slots__}
+    domains.update({name: "copy_plane" for name in CopyPlaneFlags.__slots__})
+    return domains
+
+
+def knob_default(name: str) -> bool:
+    """The *canonical* default position of a knob: fastpath on,
+    copy-plane off, ``event_wheel`` off.
+
+    Deliberately ignores ``REPRO_EVENT_WHEEL``: the verification matrix
+    (:mod:`repro.verify`) anchors its baseline here, and the baseline
+    must mean the same cell in every environment -- otherwise forcing
+    the wheel on via the environment would fold the heap-vs-wheel
+    differential axis into a point and differences between the cores
+    (e.g. a planted mutation) would become invisible."""
+    if name in CopyPlaneFlags.__slots__:
+        return False
+    if name == "event_wheel":
+        return False
+    return True

@@ -32,6 +32,19 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+#: The comparison-CLI exit-code contract, shared by ``repro diff`` and
+#: ``repro verify`` (and asserted by ``tests/test_cli_errors.py``):
+#: 0 = compared clean (within tolerance / every cell held its class),
+#: 1 = compared and found a real difference (beyond tolerance / at
+#: least one cell broke its equivalence class),
+#: 2 = never compared (usage error: bad arguments, unreadable or
+#: unwritable files, unknown toggle/schedule/mutation names).
+#: Scripts can therefore distinguish "regression" from "broken
+#: invocation" -- CI gates on 1, not on 2.
+EXIT_OK = 0
+EXIT_DIFFERENT = 1
+EXIT_USAGE = 2
+
 #: Metric-name prefix -> subsystem bucket for attribution.
 SUBSYSTEMS = {
     "kernel": "kernel",

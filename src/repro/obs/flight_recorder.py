@@ -87,6 +87,7 @@ class FlightRecorder:
         """Write the bundle now (also usable for manual snapshots);
         returns the bundle directory."""
         from repro._fastpath import COPY_PLANE, FASTPATH
+        from repro.verify.mutation import planted
 
         os.makedirs(self.out_dir, exist_ok=True)
         sim = self.sim
@@ -100,6 +101,10 @@ class FlightRecorder:
                 "fastpath": FASTPATH.snapshot(),
                 "copy_plane": COPY_PLANE.snapshot(),
             },
+            # Planted engine mutations (repro.verify.mutation) active at
+            # dump time: a bundle produced by a mutation-smoke run must
+            # say so, or its trajectory looks like a real engine bug.
+            "mutations": planted(),
             "files": list(BUNDLE_FILES),
         }
         self._write("manifest.json", manifest)

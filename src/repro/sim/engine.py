@@ -42,6 +42,15 @@ Why the hybrid pops in exactly heap order:
   >= the wheel span, hence an earlier ``now``) and thus carries a
   smaller seq than every wheel entry at ``t``; draining overflow first,
   then the bucket, reproduces seq order without any cascade machinery.
+
+The ``(time, seq)`` tie-breaking contract is also where the differential
+verification harness (:mod:`repro.verify`) plugs in: an installed
+*perturber* (:meth:`Simulator.install_perturber`, heap core only) may
+replace the integer seq key with a fractional one, permuting the FIFO
+order of same-instant events -- the orderings the paper's protocol must
+tolerate -- while leaving cross-instant order untouched.  No perturber
+installed (the default) costs one attribute load + branch per schedule
+and leaves the trajectory byte-identical.
 """
 
 from __future__ import annotations
@@ -75,6 +84,40 @@ _WHEEL_SPAN = 1 << _WHEEL_BITS
 _WHEEL_MASK = _WHEEL_SPAN - 1
 
 
+class _PlantedFlags:
+    """Deliberate, named bugs for the differential verification harness
+    (:mod:`repro.verify.mutation`).  Every flag defaults False and the
+    shipped simulator never sets one; the mutation-smoke tests plant one,
+    prove the toggle-matrix explorer catches it, and clear it again.
+    """
+
+    __slots__ = ("skip_same_instant_cancel",)
+
+    def __init__(self) -> None:
+        self.skip_same_instant_cancel = False
+
+
+#: Process-wide planted-bug switch block (see :class:`_PlantedFlags`).
+_PLANTED = _PlantedFlags()
+
+
+#: A perturber armed for the *next* ``Simulator`` construction (see
+#: :func:`arm_perturber`); consumed -- and cleared -- by ``__init__``.
+_PENDING_PERTURBER = None
+
+
+def arm_perturber(perturber) -> None:
+    """Arm ``perturber`` to be installed on the next :class:`Simulator`
+    built in this process (``None`` disarms).  Scenario entry points
+    build their simulator deep inside cluster constructors, so the
+    verification harness cannot call :meth:`Simulator.install_perturber`
+    directly; arming bridges the gap without threading a parameter
+    through every builder.  Heap core only -- constructing a
+    :class:`WheelSimulator` with a perturber armed raises."""
+    global _PENDING_PERTURBER
+    _PENDING_PERTURBER = perturber
+
+
 class Timer:
     """Handle for a scheduled callback; supports cancellation."""
 
@@ -94,6 +137,16 @@ class Timer:
     def cancel(self) -> None:
         """Prevent the callback from firing; safe to call repeatedly."""
         if not self.cancelled:
+            if _PLANTED.skip_same_instant_cancel:
+                # Planted ordering bug (mutation smoke): on the hybrid
+                # core, "forget" to cancel an entry due at the current
+                # instant -- the stale continuation then fires as a
+                # counted event the reference heap core never processes,
+                # so the two cores' trajectories diverge detectably.
+                sim = self._sim
+                if (sim is not None and not self.heaped
+                        and sim._now == self.time):
+                    return
             self.cancelled = True
             self.fn = None
             self.args = ()
@@ -168,6 +221,16 @@ class Simulator:
         #: it encounters.  Fault-injection tests set this False and
         #: inspect :attr:`failures` instead.
         self.strict = True
+        #: Installed by :meth:`install_perturber` (or a pending
+        #: :func:`arm_perturber`); None (the default) costs one attribute
+        #: load + branch per schedule on the heap core -- the same
+        #: zero-cost discipline as the profiler/invariant hooks, and the
+        #: A/B test in tests/verify pins the trajectory byte-identical.
+        self._perturber = None
+        global _PENDING_PERTURBER
+        if _PENDING_PERTURBER is not None:
+            pending, _PENDING_PERTURBER = _PENDING_PERTURBER, None
+            self.install_perturber(pending)
         self._event_count = 0
         #: Cancelled timers still sitting in any queue (now-queue, wheel
         #: bucket or heap) awaiting removal.
@@ -246,8 +309,30 @@ class Simulator:
         else:
             timer = Timer(time, fn, args, self)
         self._seq += 1
-        heapq.heappush(self._heap, (time, self._seq, timer))
+        key = self._seq
+        perturber = self._perturber
+        if perturber is not None:
+            # Schedule-perturbation hook (repro.verify): the perturber
+            # may hand back a fractional key that files this entry
+            # *before* an earlier same-instant one, permuting FIFO
+            # tie-breaking without touching anything cross-instant.
+            key = perturber.assign(self, time, key)
+        heapq.heappush(self._heap, (time, key, timer))
         return timer
+
+    def install_perturber(self, perturber) -> None:
+        """Install a same-instant tie perturber (see
+        :class:`repro.verify.perturb.TiePerturber`): every subsequent
+        ``schedule`` routes its heap key through ``perturber.assign``.
+        Heap core only -- the hybrid core's bucket FIFOs have no per-entry
+        key to permute, and the verification matrix pins perturbed cells
+        to the reference core instead.  ``None`` uninstalls."""
+        if perturber is not None and self.event_core != "heap":
+            raise SimulationError(
+                "schedule perturbation requires the reference heap core; "
+                "build the simulator with FASTPATH.event_wheel off"
+            )
+        self._perturber = perturber
 
     def schedule_at(self, time_us: int, fn: Callable, *args: Any) -> Timer:
         """Run ``fn(*args)`` at absolute simulated time ``time_us``."""

@@ -5,6 +5,13 @@ An :class:`Event` is a one-shot occurrence that tasks can wait on.
 never runs continuations synchronously -- callbacks are enqueued at the
 current simulated instant, so there is a single, deterministic execution
 stack.
+
+Same-instant ordering contract: :meth:`Event.trigger` enqueues waiter
+callbacks through ``sim.schedule(0, ...)`` in registration order, so
+their relative order is the engine's ``(time, seq)`` FIFO tie-breaking
+-- which also means an installed schedule perturber
+(:mod:`repro.verify.perturb`) fuzzes waiter wake-up order along with
+every other same-instant tie, with no extra hook needed here.
 """
 
 from __future__ import annotations

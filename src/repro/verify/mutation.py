@@ -1,0 +1,83 @@
+"""Planted bugs for mutation smoke: prove the harness can catch one.
+
+A verification harness that has never seen a failure proves nothing.
+Each entry in :data:`MUTATIONS` names a deliberate, realistic bug wired
+(dormant) into the engine behind
+:data:`repro.sim.engine._PLANTED`; the mutation-smoke test plants one,
+asserts the toggle-matrix explorer flags exactly the cells it should,
+and asserts the minimizer shrinks the failure to its minimal triple.
+
+``skip-same-instant-cancel``
+    On the hybrid event core only, :meth:`Timer.cancel` "forgets" to
+    cancel an entry due at the current instant -- e.g. the losing twin
+    of an ``AnyOf([..., D, D])`` reaped by ``Task._step`` at its own
+    due time.  The stale continuation is inert (wait tokens make it a
+    no-op) but it *fires as a counted event*, so ``event_count``
+    diverges from the reference heap core: a byte-identity violation
+    whose minimal toggle delta is the single knob ``event_wheel`` and
+    whose minimal perturbation trace is empty.
+
+Plant/clear are process-global (like the toggles themselves); the
+``tests/conftest.py`` hygiene fixture clears them around every test.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, List
+
+from repro.errors import SimulationError
+from repro.sim.engine import _PLANTED
+
+#: Mutation name -> the ``_PLANTED`` flag it sets.
+MUTATIONS: Dict[str, str] = {
+    "skip-same-instant-cancel": "skip_same_instant_cancel",
+}
+
+
+def mutation_names() -> List[str]:
+    return sorted(MUTATIONS)
+
+
+def plant(name: str) -> None:
+    """Plant the named bug (raises for unknown names)."""
+    flag = MUTATIONS.get(name)
+    if flag is None:
+        raise SimulationError(
+            f"unknown mutation {name!r}; known: {', '.join(mutation_names())}"
+        )
+    setattr(_PLANTED, flag, True)
+
+
+def clear(name: str) -> None:
+    """Clear the named bug (raises for unknown names)."""
+    flag = MUTATIONS.get(name)
+    if flag is None:
+        raise SimulationError(
+            f"unknown mutation {name!r}; known: {', '.join(mutation_names())}"
+        )
+    setattr(_PLANTED, flag, False)
+
+
+def clear_all() -> None:
+    """Clear every planted bug (test hygiene)."""
+    for flag in MUTATIONS.values():
+        setattr(_PLANTED, flag, False)
+
+
+def planted() -> List[str]:
+    """Names of currently planted bugs (flight-recorder manifests)."""
+    return [
+        name for name, flag in sorted(MUTATIONS.items())
+        if getattr(_PLANTED, flag)
+    ]
+
+
+@contextmanager
+def planted_mutation(name: str):
+    """Context manager: plant ``name`` for the duration of the block."""
+    plant(name)
+    try:
+        yield
+    finally:
+        clear(name)

@@ -1,0 +1,32 @@
+"""Global test hygiene.
+
+The repo's switchable machinery is process-global state: the
+FASTPATH/COPY_PLANE switch blocks, the planted mutations of the
+differential harness, and the armed-perturber slot consumed by the next
+``Simulator``.  A test that flips any of these and dies mid-way must
+not poison its neighbours, so one autouse fixture snapshots and
+restores all of it around every test -- which is also what lets
+``tests/helpers.py``'s ``make_cluster(toggles=...)`` set knobs without
+per-test try/finally blocks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _toggle_hygiene():
+    from repro._fastpath import COPY_PLANE, FASTPATH
+    from repro.sim.engine import arm_perturber
+    from repro.verify.mutation import clear_all
+
+    fastpath = FASTPATH.snapshot()
+    copy_plane = COPY_PLANE.snapshot()
+    yield
+    for name, value in fastpath.items():
+        setattr(FASTPATH, name, value)
+    for name, value in copy_plane.items():
+        setattr(COPY_PLANE, name, value)
+    clear_all()
+    arm_perturber(None)

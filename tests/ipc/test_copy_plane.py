@@ -10,20 +10,18 @@ missing pages, not the whole blast.
 
 import pytest
 
-from repro._fastpath import COPY_PLANE
 from repro.config import PAGE_SIZE
 from repro.kernel import CopyFromInstr, CopyToInstr, Delay
 from repro.net.loss import LossModel
 
-from tests.helpers import BareCluster
+from tests.helpers import apply_toggles, make_cluster
 
 
 @pytest.fixture
 def burst_pacing():
-    """Enable burst pacing for the test, restore the default after."""
-    COPY_PLANE.burst_pacing = True
-    yield
-    COPY_PLANE.burst_pacing = False
+    """Enable burst pacing for the test (the conftest hygiene fixture
+    restores the default after)."""
+    apply_toggles({"burst_pacing": True})
 
 
 class DropNthOfKind(LossModel):
@@ -74,7 +72,7 @@ def _copy_pages(cluster, n_pages, collect_time=False):
 
 
 def test_burst_stream_delivers_identical_pages(burst_pacing):
-    cluster = BareCluster(n=2)
+    cluster = make_cluster(2)
     src_space, dst_space, _ = _copy_pages(cluster, 48)
     assert dst_space.identical_to(src_space)
     copies = cluster.stations[0].kernel.ipc.copies
@@ -83,7 +81,7 @@ def test_burst_stream_delivers_identical_pages(burst_pacing):
 
 
 def test_burst_pacing_preserves_the_3s_per_mb_rate(burst_pacing):
-    cluster = BareCluster(n=2)
+    cluster = make_cluster(2)
     mb_pages = (1024 * 1024) // PAGE_SIZE
     _, dst_space, took = _copy_pages(cluster, mb_pages)
     assert 2_700_000 < took < 3_400_000
@@ -91,15 +89,11 @@ def test_burst_pacing_preserves_the_3s_per_mb_rate(burst_pacing):
 
 def test_burst_and_per_page_streams_agree():
     """Same pages, same versions, near-identical duration either way."""
-    per_page = BareCluster(n=2)
+    per_page = make_cluster(2)
     src_off, dst_off, t_off = _copy_pages(per_page, 48)
 
-    COPY_PLANE.burst_pacing = True
-    try:
-        bursty = BareCluster(n=2)
-        src_on, dst_on, t_on = _copy_pages(bursty, 48)
-    finally:
-        COPY_PLANE.burst_pacing = False
+    bursty = make_cluster(2, toggles={"burst_pacing": True})
+    src_on, dst_on, t_on = _copy_pages(bursty, 48)
 
     assert dst_off.version_vector() == dst_on.version_vector()
     assert abs(t_on - t_off) < 0.02 * t_off
@@ -114,7 +108,7 @@ def test_lost_mid_burst_frame_retransmits_only_its_pages(burst_pacing):
     re-send exactly those 16 pages as per-page ``copy-data`` frames --
     never a 4th burst -- and the destination must still converge."""
     loss = DropNthOfKind("copy-burst", 2)
-    cluster = BareCluster(n=2, loss=loss)
+    cluster = make_cluster(2, loss=loss)
     src_space, dst_space, _ = _copy_pages(cluster, 48)
 
     assert loss.seen >= 2, "the targeted burst frame never crossed the wire"
@@ -128,7 +122,7 @@ def test_lost_mid_burst_frame_retransmits_only_its_pages(burst_pacing):
 
 
 def test_copyfrom_burst_reply_matches_per_page(burst_pacing):
-    cluster = BareCluster(n=2)
+    cluster = make_cluster(2)
     a, b = cluster.stations
 
     def idle():

@@ -11,12 +11,12 @@ tiny residual at nearly the same total cost.
 
 import pytest
 
-from repro._fastpath import COPY_PLANE
-from repro.cluster import build_cluster
 from repro.config import PAGE_SIZE
 from repro.kernel import Compute, Delay, Priority, TouchPages
 from repro.migration.manager import run_migration
 from repro.migration.precopy import AdaptivePrecopy, PrecopyPolicy
+
+from tests.helpers import make_cluster
 
 
 class TestAdaptiveController:
@@ -52,9 +52,9 @@ HEAVY_PAGES = 160  # distinct pages the heavy phase keeps re-dirtying
 HOT = tuple(range(200, 204))  # steady-state hot set, under the threshold
 
 
-def _migrate_phased_hog():
+def _migrate_phased_hog(toggles=None):
     """Migrate a phased hog; returns its MigrationStats."""
-    cluster = build_cluster(n_workstations=3, seed=5)
+    cluster = make_cluster(3, seed=5, full=True, toggles=toggles)
     sim = cluster.sim
     kernel = cluster.workstations[1].kernel
     lh = kernel.create_logical_host()
@@ -94,11 +94,7 @@ def _migrate_phased_hog():
 
 def test_adaptive_rides_out_the_phase_change():
     static = _migrate_phased_hog()
-    COPY_PLANE.adaptive_precopy = True
-    try:
-        adaptive = _migrate_phased_hog()
-    finally:
-        COPY_PLANE.adaptive_precopy = False
+    adaptive = _migrate_phased_hog(toggles={"adaptive_precopy": True})
 
     # The static policy froze right after the phase change with the
     # heavy-phase residue still dirty; adaptive copied one more round

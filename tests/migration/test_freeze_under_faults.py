@@ -8,7 +8,6 @@ agree to the microsecond.  An earlier accounting bug (freeze clock
 started before the trace span) only showed up when the residual copy
 stalled on retransmissions -- hence the lossy variants here."""
 
-from repro.cluster import build_cluster
 from repro.faults.models import (
     DropFault,
     DuplicateFault,
@@ -18,11 +17,13 @@ from repro.faults.models import (
 from repro.kernel import Compute, Delay, Priority, Touch
 from repro.migration.manager import run_migration
 
+from tests.helpers import make_cluster
+
 
 def _migrate_under(plane, seed=2):
     """Migrate a busy 128 KB program off ws1 with tracing on; returns
     (stats, freeze_spans)."""
-    cluster = build_cluster(n_workstations=3, seed=seed, faults=plane)
+    cluster = make_cluster(3, seed=seed, full=True, faults=plane)
     sim = cluster.sim
     sim.trace.enable("migration")
 

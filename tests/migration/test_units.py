@@ -130,11 +130,12 @@ class TestDescriptors:
 
 class TestResidualDependencies:
     def test_global_server_use_is_not_a_dependency(self):
-        from repro.cluster import build_cluster
         from repro.execution import ProgramRegistry
         from repro.migration.residual import residual_dependencies
 
-        cluster = build_cluster(n_workstations=2, registry=ProgramRegistry())
+        from tests.helpers import make_cluster
+
+        cluster = make_cluster(2, full=True, registry=ProgramRegistry())
         ws0 = cluster.workstations[0]
         lh = ws0.kernel.create_logical_host()
         ws0.kernel.allocate_space(lh, 8192)
@@ -147,12 +148,13 @@ class TestResidualDependencies:
         assert residual_dependencies(lh, ws0) == []
 
     def test_local_server_use_is_flagged(self):
-        from repro.cluster import build_cluster
         from repro.execution import ProgramRegistry
         from repro.migration.residual import residual_dependencies
         from repro.services.file_server import FileServer, install_file_server
 
-        cluster = build_cluster(n_workstations=2, registry=ProgramRegistry())
+        from tests.helpers import make_cluster
+
+        cluster = make_cluster(2, full=True, registry=ProgramRegistry())
         ws0 = cluster.workstations[0]
         # A file server running ON the workstation (the paper's warning
         # case: local servers create residual dependencies).

@@ -1,0 +1,116 @@
+"""Property tests for extent coalescing: ``mask_runs`` and the
+``PageRuns`` sequences the copy data plane streams (ISSUE 9 satellite).
+
+The load-bearing identity is the round trip bitmap -> runs -> pages ->
+bitmap: coalescing must neither drop, duplicate, merge-across-gaps nor
+reorder a single page, including the edge cases that bit tricks get
+wrong (empty bitmap, a single trailing page, one full-span run)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.config import PAGE_SIZE
+from repro.kernel import AddressSpace
+from repro.kernel.address_space import mask_runs
+
+masks = st.integers(min_value=0, max_value=(1 << 96) - 1)
+
+
+def _runs_to_mask(runs):
+    mask = 0
+    for start, length in runs:
+        mask |= ((1 << length) - 1) << start
+    return mask
+
+
+# ------------------------------------------------------------- mask_runs
+
+@given(masks)
+def test_mask_runs_round_trips(mask):
+    runs = mask_runs(mask)
+    assert _runs_to_mask(runs) == mask
+
+
+@given(masks)
+def test_runs_are_maximal_ascending_and_disjoint(mask):
+    runs = mask_runs(mask)
+    prev_end = None
+    for start, length in runs:
+        assert length >= 1
+        if prev_end is not None:
+            # Ascending AND non-adjacent: adjacent runs would mean the
+            # coalescer failed to merge a maximal extent.
+            assert start > prev_end + 1
+        prev_end = start + length - 1
+
+
+def test_empty_bitmap_has_no_runs():
+    assert mask_runs(0) == []
+
+
+def test_single_trailing_page():
+    # The highest page alone -- the off-by-one magnet for shift loops.
+    for n in (1, 2, 63, 64, 65):
+        mask = 1 << (n - 1)
+        assert mask_runs(mask) == [(n - 1, 1)]
+
+
+def test_full_span_is_one_run():
+    for n in (1, 7, 64, 200):
+        assert mask_runs((1 << n) - 1) == [(0, n)]
+
+
+# -------------------------------------------------------------- PageRuns
+
+spaces = st.integers(min_value=1, max_value=48).map(
+    lambda pages: AddressSpace(pages * PAGE_SIZE)
+)
+
+
+@given(st.data())
+def test_collect_dirty_runs_covers_and_clears(data):
+    space = data.draw(spaces)
+    indexes = data.draw(st.sets(st.integers(0, space.n_pages - 1)))
+    space.touch_pages(sorted(indexes))
+    runs = space.collect_dirty_runs()
+    # Runs -> pages -> indexes reproduces the dirty set, in order...
+    assert runs.index_list() == sorted(indexes)
+    assert [p.index for p in runs] == sorted(indexes)
+    assert len(runs) == len(indexes)
+    assert all(runs.has_index(i) for i in indexes)
+    assert not any(runs.has_index(i) for i in range(space.n_pages)
+                   if i not in indexes)
+    # ...the gather cleared the bitmap...
+    assert space.dirty_mask == 0
+    assert space.collect_dirty_runs().runs == ()
+    # ...and the extents agree with the pure-mask coalescer.
+    assert list(runs.runs) == mask_runs(_runs_to_mask(runs.runs))
+
+
+@given(st.data())
+def test_page_runs_round_trip_runs_pages_runs(data):
+    """runs -> pages -> (re-coalesced) runs is the identity."""
+    space = data.draw(spaces)
+    indexes = data.draw(st.sets(st.integers(0, space.n_pages - 1),
+                                min_size=1))
+    space.touch_pages(sorted(indexes))
+    runs = space.collect_dirty_runs()
+    remask = 0
+    for page in runs:
+        remask |= 1 << page.index
+    assert mask_runs(remask) == list(runs.runs)
+
+
+def test_full_runs_spans_everything_once():
+    space = AddressSpace(13 * PAGE_SIZE)
+    runs = space.full_runs()
+    assert list(runs.runs) == [(0, 13)]
+    assert runs.index_list() == list(range(13))
+    assert len(runs) == 13
+
+
+def test_empty_space_edge_cases():
+    space = AddressSpace(PAGE_SIZE)  # smallest legal space
+    assert space.collect_dirty_runs().index_list() == []
+    space.touch_pages([0])
+    assert space.collect_dirty_runs().index_list() == [0]

@@ -81,3 +81,35 @@ def test_lone_ampersand_rejected():
 def test_migrateprog_flags_are_args():
     cmd = parse_command("migrateprog -n %1")
     assert cmd.args == ("-n", "%1")
+
+
+def test_attached_form_with_empty_target_rejected():
+    with pytest.raises(ParseError, match="malformed target"):
+        parse_command("tex@ paper.tex")
+
+
+def test_attached_form_with_empty_program_rejected():
+    with pytest.raises(ParseError, match="malformed target"):
+        parse_command("@ws2 paper.tex")
+
+
+def test_double_target_rejected():
+    with pytest.raises(ParseError, match="only one target"):
+        parse_command("tex paper.tex @ ws1 ws2")
+
+
+def test_background_at_star_attached_ampersand():
+    # '@ *&' must strip the ampersand off the target, not reject it.
+    cmd = parse_command("longsim @ ws2&")
+    assert cmd.background
+    assert cmd.target == "ws2"
+
+
+def test_parse_errors_carry_a_usable_message():
+    for line, fragment in [
+        ("cc68 prog.c @", "requires a machine name"),
+        ("@ ws1", "no program before"),
+        ("&", "no command"),
+    ]:
+        with pytest.raises(ParseError, match=fragment):
+            parse_command(line)

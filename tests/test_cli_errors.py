@@ -1,6 +1,6 @@
-"""Error paths of the ``sweep`` and ``chaos`` subcommands: bad input
-must exit 2 with a diagnostic on stderr (never a traceback), and a
-failing campaign must exit 1."""
+"""Error paths of the ``sweep``, ``chaos`` and ``verify`` subcommands:
+bad input must exit 2 with a diagnostic on stderr (never a traceback),
+and a failing campaign must exit 1."""
 
 import json
 
@@ -48,6 +48,43 @@ class TestChaosErrors:
     def test_zero_seeds_exits_2(self, capsys):
         assert main(["chaos", "--schedules", "drop", "--seeds", "0"]) == 2
         assert "at least one replication" in capsys.readouterr().err
+
+    def test_unwritable_out_exits_2(self, tmp_path, capsys):
+        rc = main(["chaos", "--schedules", "drop", "--seeds", "1",
+                   "--messages", "10",
+                   "--out", str(tmp_path / "no" / "dir" / "x.json")])
+        assert rc == 2
+        assert "cannot write" in capsys.readouterr().err
+
+
+class TestVerifyErrors:
+    def test_unknown_toggle_exits_2(self, capsys):
+        assert main(["verify", "--toggle", "warp_drive=on"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("verify: ")
+        assert "warp_drive" in err
+
+    def test_toggle_without_value_exits_2(self, capsys):
+        assert main(["verify", "--toggle", "event_wheel"]) == 2
+        err = capsys.readouterr().err
+        assert "NAME=on|off" in err
+
+    def test_malformed_copy_plane_exits_2(self, capsys):
+        assert main(["verify", "--copy-plane", "sideways"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("verify: ")
+        for mode in ("off", "burst", "adaptive", "both"):
+            assert mode in err  # the diagnostic teaches the vocabulary
+
+    def test_unknown_mutation_exits_2(self, capsys):
+        assert main(["verify", "--mutate", "no-such-bug"]) == 2
+        assert "skip-same-instant-cancel" in capsys.readouterr().err
+
+    def test_unwritable_report_exits_2(self, tmp_path, capsys):
+        rc = main(["verify", "--matrix", "sample:2", "--messages", "3",
+                   "--report", str(tmp_path / "no" / "dir" / "x.json")])
+        assert rc == 2
+        assert "cannot write" in capsys.readouterr().err
 
     def test_broken_rebinding_campaign_exits_1(self, capsys):
         rc = main(["chaos", "--schedules", "drop", "--seeds", "1",
