@@ -1,6 +1,6 @@
 # Convenience targets for the V-System reproduction.
 
-.PHONY: install test bench bench-smoke bench-sweep chaos-smoke report-smoke verify-smoke examples demo trace-demo all
+.PHONY: install test bench bench-smoke bench-sweep bench-placement chaos-smoke report-smoke verify-smoke examples demo trace-demo all
 
 install:
 	pip install -e . || python setup.py develop
@@ -16,24 +16,35 @@ bench:
 bench-smoke:
 	python -m pytest benchmarks/bench_simcore.py -m smoke -p no:cacheprovider
 
+# Placement-plane policy comparison on the open-loop job storm: the
+# paper's first-responder multicast vs cached RandomK probing vs
+# zero-probe best-fit, at 8/32/128 hosts (selection messages per exec
+# and exec-to-start latency percentiles; see docs/ARCHITECTURE.md).
+bench-placement:
+	PYTHONPATH=src:benchmarks python -c "import json, bench_simcore; print(json.dumps(bench_simcore._measure_placement(), indent=2))"
+
 # Fixed-seed fault-injection campaign: every fault schedule x 10 seeds
 # with the invariant harness watching every event (see docs/FAULTS.md).
 # Exits non-zero if any of the four invariants is ever violated.  The
 # second pass repeats the campaign with the COPY_PLANE data-plane
 # toggles on, so burst framing and adaptive pre-copy face the same
-# abuse (loss, duplication, reordering, corruption, crashes) in CI.
+# abuse (loss, duplication, reordering, corruption, crashes) in CI;
+# the third does the same for the PLACEMENT plane (host-state caches
+# + probing placement under crashing, lossy hosts).
 chaos-smoke:
 	python -m repro chaos --seeds 10 --seed 7 --workers 2 --messages 20
 	python -m repro chaos --seeds 10 --seed 7 --workers 2 --messages 20 --copy-plane
+	python -m repro chaos --seeds 10 --seed 7 --workers 2 --messages 20 --placement
 
-# Differential verification smoke: a sampled 8-cell toggle matrix must
-# pass clean, and the planted ordering mutation must be caught (a
-# harness that has never failed proves nothing).  REPRO_VERIFY_BUDGET=N
-# caps the cell count; the weekly CI job raises it and widens the
-# matrix (see docs/TESTING.md).
+# Differential verification smoke: a sampled 10-cell toggle matrix
+# (including the placement-plane strata) must pass clean, and the
+# planted ordering mutation must be caught (a harness that has never
+# failed proves nothing).  REPRO_VERIFY_BUDGET=N caps the cell count;
+# the weekly CI job raises it and widens the matrix (see
+# docs/TESTING.md).
 verify-smoke:
-	python -m repro verify --matrix sample:8 --seed 7 --workers 2
-	python -m repro verify --matrix sample:8 --seed 7 --workers 2 --mutate skip-same-instant-cancel --expect-fail
+	python -m repro verify --matrix sample:10 --seed 7 --workers 2
+	python -m repro verify --matrix sample:10 --seed 7 --workers 2 --mutate skip-same-instant-cancel --expect-fail
 
 # Regenerate the canonical migration RunReport and diff it against the
 # checked-in BASELINE_report.json within a 1% tolerance: simulated

@@ -644,6 +644,76 @@ def _measure_parallel_sweep():
     return result
 
 
+# -- scenario 5: placement-plane policy comparison ----------------------------
+
+#: Cluster sizes for the placement comparison (the paper's multicast
+#: candidate query costs one selection message per host, so 128 hosts
+#: is where cached probing has to show its O(k) advantage).
+PLACEMENT_HOSTS = (8, 32, 128)
+PLACEMENT_POLICIES = ("first_responder", "random_k", "best_fit")
+PLACEMENT_SEED = 42
+#: Jobs per host in the smoke variant (the full run uses the scenario
+#: default of 3 per host; one per host keeps the smoke under a minute).
+SMOKE_PLACEMENT_JOBS_PER_HOST = 1
+
+
+def _run_placement(n_hosts, policy, seed=PLACEMENT_SEED, jobs=None):
+    """One ``job_storm`` run; returns its payload plus wall seconds."""
+    from repro.parallel.scenarios import get_scenario
+
+    config = {"workstations": n_hosts, "policy": policy}
+    if jobs is not None:
+        config["jobs"] = jobs
+    started = time.perf_counter()
+    result = get_scenario("job_storm")(config, seed)
+    result["wall_seconds"] = round(time.perf_counter() - started, 3)
+    return result
+
+
+def _measure_placement(hosts=PLACEMENT_HOSTS, jobs=None):
+    """Exec-to-start latency and selection message cost of the three
+    placement policies on the open-loop job storm at each cluster size.
+
+    The headline numbers come from the largest scale: the factor by
+    which RandomK probing cuts selection messages per exec versus the
+    paper's first-responder multicast, and RandomK's p99 exec-to-start
+    latency relative to zero-probe CachedBestFit (the acceptance bound
+    is >=5x fewer messages within 1.2x of best-fit's p99 at 128 hosts).
+    Anti-entropy refresh traffic is reported separately -- it is cache
+    upkeep amortized over every exec, not per-selection cost."""
+    scales = {}
+    for n in hosts:
+        row = {}
+        for policy in PLACEMENT_POLICIES:
+            r = _run_placement(n, policy, jobs=jobs)
+            assert r["failed"] == 0, (n, policy, r["failure_kinds"])
+            row[policy] = {
+                "completed": r["completed"],
+                "selection_msgs_per_exec": round(
+                    r["selection_msgs_per_exec"], 2),
+                "anti_entropy_msgs": r["anti_entropy_msgs"],
+                "admission_declines": r["admission_declines"],
+                "latency_p50_us": r["latency_us"]["p50"],
+                "latency_p99_us": r["latency_us"]["p99"],
+                "throughput_jobs_per_s": round(
+                    r["throughput_jobs_per_s"], 2),
+                "wall_seconds": r["wall_seconds"],
+            }
+        scales[str(n)] = row
+    big = scales[str(max(hosts))]
+    return {
+        "scenario": "job_storm placement policies",
+        "seed": PLACEMENT_SEED,
+        "scales": scales,
+        "selection_reduction_at_max": round(
+            big["first_responder"]["selection_msgs_per_exec"]
+            / big["random_k"]["selection_msgs_per_exec"], 2),
+        "randomk_p99_vs_best_fit_at_max": round(
+            big["random_k"]["latency_p99_us"]
+            / max(big["best_fit"]["latency_p99_us"], 1), 3),
+    }
+
+
 # -- scenario 3: event-heap churn ---------------------------------------------
 
 def _engine_churn(n_ticks):
@@ -819,6 +889,7 @@ def collect(micro_rounds=MICRO_ROUNDS, engine_events=ENGINE_EVENTS):
     copy_plane = _measure_copy_plane(baseline=storm_flat)
     adaptive_precopy = _measure_adaptive_precopy()
     parallel_sweep = _measure_parallel_sweep()
+    placement = _measure_placement()
 
     return {
         "generated_by": "benchmarks/bench_simcore.py",
@@ -853,6 +924,7 @@ def collect(micro_rounds=MICRO_ROUNDS, engine_events=ENGINE_EVENTS):
         "copy_plane": copy_plane,
         "adaptive_precopy": adaptive_precopy,
         "parallel_sweep": parallel_sweep,
+        "placement": placement,
         "engine": engine,
         "engine_wheel": engine_wheel,
     }
@@ -946,6 +1018,10 @@ def test_simcore_fastpaths(benchmark):
     # machines the number is recorded honestly but not asserted.
     if sweep["cores_available"] and sweep["cores_available"] >= 4:
         assert sweep["speedup"] >= 2.5, sweep
+
+    placement = payload["placement"]
+    assert placement["selection_reduction_at_max"] >= 5.0, placement
+    assert placement["randomk_p99_vs_best_fit_at_max"] <= 1.2, placement
 
 
 @pytest.mark.smoke
@@ -1087,6 +1163,31 @@ def test_smoke_report_roundtrip(tmp_path):
 
 
 @pytest.mark.smoke
+def test_smoke_placement():
+    """Quick CI check of the placement-plane acceptance bound at the
+    full 128-host scale with a lighter job count (one per host):
+    RandomK probing must cut selection messages per exec >=5x versus the
+    first-responder multicast, with every job completing.  The full run
+    (``collect``) additionally holds RandomK's p99 exec-to-start within
+    1.2x of CachedBestFit's; the smoke's smaller sample makes a tail
+    percentile too noisy to gate on."""
+    n = max(PLACEMENT_HOSTS)
+    jobs = n * SMOKE_PLACEMENT_JOBS_PER_HOST
+    multicast = _run_placement(n, "first_responder", jobs=jobs)
+    probing = _run_placement(n, "random_k", jobs=jobs)
+    for r in (multicast, probing):
+        assert r["failed"] == 0, r["failure_kinds"]
+        assert r["completed"] == jobs
+    reduction = (multicast["selection_msgs_per_exec"]
+                 / probing["selection_msgs_per_exec"])
+    assert reduction >= 5.0, (
+        f"RandomK selection traffic reduction at {n} hosts fell to "
+        f"{reduction:.1f}x ({multicast['selection_msgs_per_exec']:.1f} -> "
+        f"{probing['selection_msgs_per_exec']:.1f} msgs/exec; floor 5x)"
+    )
+
+
+@pytest.mark.smoke
 def test_smoke_engine_wheel_ab():
     """Quick CI check: the hybrid event core still beats the heap at
     sweep scale and takes the identical trajectory.  The floor is below
@@ -1143,6 +1244,12 @@ def main():
           f"{adaptive['adaptive_freeze_us'] / 1000:.0f} ms at "
           f"{adaptive['pages_ratio']}x pages (budget <= 1.1x)",
           file=sys.stderr)
+    placement = payload["placement"]
+    print(f"placement at {max(PLACEMENT_HOSTS)} hosts: "
+          f"{placement['selection_reduction_at_max']}x fewer selection "
+          f"msgs/exec with RandomK (target >= 5x), p99 at "
+          f"{placement['randomk_p99_vs_best_fit_at_max']}x best-fit "
+          f"(budget <= 1.2x)", file=sys.stderr)
     wheel = payload["engine_wheel"]
     print(f"event wheel A/B: {wheel['speedup']}x on sweep-churn "
           f"(target >= 1.5x)  storm ratio: "

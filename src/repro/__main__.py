@@ -67,7 +67,7 @@ def _migrate_scenario(program: str, seed: int, setup=None):
     before any traffic -- so enabling tracing/metrics there captures the
     whole run.  Returns ``(cluster, stats)``."""
     from repro.cluster import build_cluster
-    from repro.execution import exec_program
+    from repro.execution import ExecSpec, exec_program
     from repro.kernel.process import Priority
     from repro.migration.manager import run_migration
     from repro.workloads import standard_registry
@@ -80,7 +80,7 @@ def _migrate_scenario(program: str, seed: int, setup=None):
     holder = {}
 
     def session(ctx):
-        pid, pm = yield from exec_program(ctx, program, where="ws1")
+        pid, pm = yield from exec_program(ctx, ExecSpec(program, where="ws1"))
         holder["pid"] = pid
 
     cluster.spawn_session(cluster.workstations[0], session)
@@ -489,6 +489,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
             messages=args.messages,
             break_rebinding=args.break_rebinding,
             copy_plane=args.copy_plane,
+            placement=args.placement,
         )
     except SimulationError as exc:
         print(f"chaos: {exc} (schedules: {', '.join(schedule_names())})",
@@ -612,6 +613,9 @@ def main(argv=None) -> int:
     chaos.add_argument("--copy-plane", action="store_true",
                        help="run with the COPY_PLANE data-plane toggles on "
                             "(burst pacing + adaptive pre-copy)")
+    chaos.add_argument("--placement", action="store_true",
+                       help="run with the PLACEMENT toggles on (host-state "
+                            "caches + probing placement)")
     chaos.add_argument("--out", default=None,
                        help="write the merged JSON payload here")
     chaos.add_argument("--report", default=None, metavar="PATH",

@@ -89,6 +89,41 @@ class FastPathFlags:
         return {name: getattr(self, name) for name in self.__slots__}
 
 
+class PlacementFlags:
+    """Switches for the placement plane (default OFF; see
+    :mod:`repro.cluster.placement`).
+
+    ``load_cache`` installs a per-host :class:`HostStateCache` daemon in
+    ``build_cluster`` -- a TTL'd view of cluster load fed by piggy-backed
+    digests on program-manager replies plus periodic anti-entropy
+    probes.  The probes are real messages, so the knob changes the
+    modelled trajectory (tolerance-diffed class, like COPY_PLANE).
+
+    ``probe_placement`` makes ``@ *`` executions default to the
+    :class:`RandomK` probing policy instead of the paper's multicast
+    first-responder selection (it implies a usable cache: policies fall
+    back to FirstResponder when no fresh view exists).  An explicit
+    ``ExecSpec(policy=...)`` always wins over this knob.
+    """
+
+    __slots__ = (
+        "load_cache",
+        "probe_placement",
+    )
+
+    def __init__(self) -> None:
+        self.set_all(False)
+
+    def set_all(self, enabled: bool) -> None:
+        """Switch every placement mode on or off at once."""
+        for name in self.__slots__:
+            setattr(self, name, enabled)
+
+    def snapshot(self) -> dict:
+        """Current switch positions (for benchmark payloads)."""
+        return {name: getattr(self, name) for name in self.__slots__}
+
+
 class CopyPlaneFlags:
     """Switches for the bulk-transfer data plane overhaul (default OFF).
 
@@ -129,22 +164,32 @@ FASTPATH = FastPathFlags()
 #: The copy data-plane switch block (default off; see CopyPlaneFlags).
 COPY_PLANE = CopyPlaneFlags()
 
+#: The placement-plane switch block (default off; see PlacementFlags).
+PLACEMENT = PlacementFlags()
+
 
 def knob_domains() -> dict:
-    """Every toggleable knob name -> its switch block ("fastpath" or
-    "copy_plane"), the single source of truth the differential
-    verification matrix (:mod:`repro.verify`) builds toggle vectors
-    from.  ``fastpath`` knobs are trajectory-preserving (byte-identical
-    equivalence class); ``copy_plane`` knobs change the modelled
-    trajectory (tolerance-diffed class)."""
+    """Every toggleable knob name -> its switch block ("fastpath",
+    "copy_plane" or "placement"), the single source of truth the
+    differential verification matrix (:mod:`repro.verify`) builds toggle
+    vectors from.  ``fastpath`` knobs are trajectory-preserving
+    (byte-identical equivalence class); ``copy_plane`` and ``placement``
+    knobs change the modelled trajectory (tolerance-diffed class)."""
     domains = {name: "fastpath" for name in FastPathFlags.__slots__}
     domains.update({name: "copy_plane" for name in CopyPlaneFlags.__slots__})
+    domains.update({name: "placement" for name in PlacementFlags.__slots__})
     return domains
+
+
+def knob_block(domain: str):
+    """The switch-block singleton for a knob domain name."""
+    return {"fastpath": FASTPATH, "copy_plane": COPY_PLANE,
+            "placement": PLACEMENT}[domain]
 
 
 def knob_default(name: str) -> bool:
     """The *canonical* default position of a knob: fastpath on,
-    copy-plane off, ``event_wheel`` off.
+    copy-plane off, placement off, ``event_wheel`` off.
 
     Deliberately ignores ``REPRO_EVENT_WHEEL``: the verification matrix
     (:mod:`repro.verify`) anchors its baseline here, and the baseline
@@ -152,7 +197,7 @@ def knob_default(name: str) -> bool:
     the wheel on via the environment would fold the heap-vs-wheel
     differential axis into a point and differences between the cores
     (e.g. a planted mutation) would become invisible."""
-    if name in CopyPlaneFlags.__slots__:
+    if name in CopyPlaneFlags.__slots__ or name in PlacementFlags.__slots__:
         return False
     if name == "event_wheel":
         return False

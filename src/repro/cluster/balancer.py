@@ -49,6 +49,10 @@ class BalancerStats:
     moves_requested: int = 0
     moves_succeeded: int = 0
     moves_failed: int = 0
+    #: Hosts dropped from a survey round because they never answered.
+    unreachable: int = 0
+    #: Survey answers taken from the placement cache instead of a query.
+    cache_hits: int = 0
     #: (time, pid, from_host, to_host) of each successful move.
     history: List[Tuple[int, Pid, str, Optional[str]]] = field(default_factory=list)
 
@@ -69,24 +73,50 @@ class LoadBalancer:
 
     # ---------------------------------------------------------------- body
 
+    def _cache_view(self):
+        """The placement cache on the balancer's own workstation, if the
+        cluster installed one -- its fresh digests answer the survey's
+        remote-count question without a query message."""
+        caches = getattr(self.cluster, "host_caches", None)
+        if not caches:
+            return None
+        host = self.pcb.logical_host.kernel.name if self.pcb else None
+        return caches.get(host) or next(iter(caches.values()), None)
+
     def body(self):
-        """Daemon loop: survey, pick the most loaded host, rebalance."""
+        """Daemon loop: survey, pick the most loaded host, rebalance.
+
+        The program-manager roster is re-resolved every round: a
+        rebooted workstation gets a fresh manager pid, and a roster
+        captured once at daemon start would keep surveying the dead one
+        forever.  A host that times out is dropped from *this* round
+        only; everyone else's answers still count.
+        """
         policy = self.policy
-        pm_pids = {name: pm.pcb.pid
-                   for name, pm in self.cluster.program_managers.items()}
         while self._running:
             yield Delay(policy.interval_us)
             self.stats.rounds += 1
+            pm_pids = {name: pm.pcb.pid
+                       for name, pm in self.cluster.program_managers.items()}
+            cache = self._cache_view()
             loads: Dict[str, Message] = {}
+            counts: Dict[str, int] = {}
             for name, pm_pid in sorted(pm_pids.items()):
+                digest = cache.fresh_digest(name) if cache is not None else None
+                if digest is not None:
+                    # A fresh cached digest answers the count question;
+                    # the full listing is only fetched if this host is
+                    # actually chosen for a move.
+                    counts[name] = digest.remote
+                    self.stats.cache_hits += 1
+                    continue
                 try:
                     loads[name] = yield Send(pm_pid, Message("query-programs"))
                 except SendTimeoutError:
-                    continue  # host down; skip this round
-            counts = {
-                name: len([r for r in reply["rows"] if r["remote"]])
-                for name, reply in loads.items()
-            }
+                    self.stats.unreachable += 1
+                    continue  # drop the unreachable host from this round
+                counts[name] = len(
+                    [r for r in loads[name]["rows"] if r["remote"]])
             if not counts:
                 continue
             underloaded = [n for n, c in sorted(counts.items())
@@ -97,7 +127,15 @@ class LoadBalancer:
                     break
                 if count <= policy.overload_threshold:
                     break  # sorted descending: nobody else is overloaded
-                moved = yield from self._move_one_off(pm_pids[name], loads[name],
+                listing = loads.get(name)
+                if listing is None:
+                    try:
+                        listing = yield Send(pm_pids[name],
+                                             Message("query-programs"))
+                    except SendTimeoutError:
+                        self.stats.unreachable += 1
+                        continue
+                moved = yield from self._move_one_off(pm_pids[name], listing,
                                                       name)
                 if moved:
                     moves += 1

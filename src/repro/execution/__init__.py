@@ -19,11 +19,15 @@ level by ``prog args @ machine``, or on "a random idle machine" with
 from repro.execution.program import ProgramImage, ProgramRegistry
 from repro.execution.environment import ProgramContext
 from repro.execution.api import (
+    ExecHandle,
+    ExecSpec,
     exec_program,
     exec_and_wait,
+    run_program,
     select_candidate_host,
     query_host_by_name,
     wait_for_program,
+    wait_program,
     write_stdout,
 )
 
@@ -31,10 +35,14 @@ __all__ = [
     "ProgramImage",
     "ProgramRegistry",
     "ProgramContext",
+    "ExecHandle",
+    "ExecSpec",
     "exec_program",
     "exec_and_wait",
+    "run_program",
     "select_candidate_host",
     "query_host_by_name",
     "wait_for_program",
+    "wait_program",
     "write_stdout",
 ]

@@ -5,19 +5,33 @@ These are generator helpers used with ``yield from`` inside a process
 body.  The execution protocol mirrors §2.1:
 
 1. the requester selects a program manager -- its own (local), the one
-   answering a ``query-host`` for a named machine (``@ machine``), or the
-   first responder to a candidate query (``@ *``);
+   answering a ``query-host`` for a named machine (``@ machine``), or
+   one picked by a placement policy for ``@ *`` (the paper's multicast
+   first-responder query by default; cached probing policies from
+   :mod:`repro.cluster.placement` by choice);
 2. it sends ``create-program``; the program manager builds the address
    space, creates the initial process awaiting its start, and has the
    image loaded from a file server;
 3. the requester initializes the new program -- arguments, default I/O,
    environment variables and name cache travel in the start message --
    and starts it in execution.
+
+The canonical client surface is spec-based::
+
+    spec = ExecSpec("cc68", args=("prog.c",), where="*")
+    handle = yield from exec_program(ctx, spec)
+    code = yield from wait_program(ctx, handle)
+
+The pre-placement positional forms (``exec_program(ctx, "cc68", ...)``,
+``wait_for_program(origin_pm, pid)``, ``exec_and_wait``) remain as thin
+deprecation shims with identical trajectories.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+import warnings
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Tuple, Union
 
 from repro.errors import (
     ExecutionError,
@@ -33,6 +47,65 @@ from repro.execution.environment import ProgramContext
 #: Size of the serialized arguments/environment written into a fresh
 #: program space at startup (costs wire time on the start message).
 ENV_SEGMENT_BYTES = 1024
+
+
+@dataclass
+class ExecSpec:
+    """Everything one program execution needs: what to run, where, and
+    under which placement policy.  The single argument of
+    :func:`exec_program`."""
+
+    #: Program name (looked up in the cluster's program registry).
+    program: str
+    #: Command-line arguments.
+    args: Tuple[str, ...] = ()
+    #: Host selector: ``"local"``, ``"*"`` (policy-placed), or a
+    #: workstation name (the shell's ``@ machine``).
+    where: str = "local"
+    #: Placement policy for ``where="*"``: an instance/class/name from
+    #: :mod:`repro.cluster.placement`, or None for the default
+    #: (FirstResponder, or RandomK under ``PLACEMENT.probe_placement``).
+    policy: Any = None
+    #: Run inside an existing logical host (sub-programs "typically
+    #: execute within a single logical host", §3).
+    lhid: Optional[int] = None
+    #: Memory the candidate/admission checks should account for.
+    memory_needed: int = 0
+    #: Placement attempts for ``where="*"`` before giving up.
+    retry_budget: int = 3
+    #: Simulated-µs budget for placement retries (None = no deadline).
+    timeout_us: Optional[int] = None
+    #: Extra environment variables for the child (None = inherit).
+    env: Optional[Dict[str, str]] = None
+    #: Standard-output override: a display-server pid (None = inherit).
+    io: Optional[Pid] = None
+
+
+@dataclass
+class ExecHandle:
+    """What :func:`exec_program` returns: enough to wait on the program
+    and to account for how it was placed."""
+
+    #: The new program's pid.
+    pid: Pid
+    #: The program manager that created it (wait rendezvous hint).
+    origin_pm: Pid
+    #: Workstation it started on (when known).
+    host: Optional[str] = None
+    #: The program name, for reports.
+    program: str = ""
+    #: Placement policy that picked the host.
+    policy: str = "local"
+    #: Placement attempts used (1 = first choice stuck).
+    attempts: int = 1
+    #: sim.now when the exec was requested / when the program started.
+    requested_at: int = 0
+    started_at: int = 0
+
+    def __iter__(self):
+        # Tuple-compatibility: ``pid, pm = yield from exec_program(...)``
+        # keeps working for code written against the positional API.
+        return iter((self.pid, self.origin_pm))
 
 
 def boot_body(body_factory):
@@ -100,60 +173,163 @@ def query_host_by_name(hostname: str):
     return reply["pm"]
 
 
+def _resolve_policy(ctx: ProgramContext, spec: ExecSpec):
+    """The placement policy an ``@ *`` exec runs under: the spec's own
+    choice, else RandomK when ``PLACEMENT.probe_placement`` is on and a
+    cache exists, else the paper's FirstResponder."""
+    from repro._fastpath import PLACEMENT
+    from repro.cluster.placement import FirstResponder, RandomK, make_policy
+
+    if spec.policy is not None:
+        return make_policy(spec.policy)
+    if PLACEMENT.probe_placement and ctx.host_cache is not None:
+        return RandomK()
+    return FirstResponder()
+
+
 def exec_program(
     ctx: ProgramContext,
-    program: str,
+    spec: Union[ExecSpec, str],
     args: Tuple[str, ...] = (),
     where: str = "local",
     lhid: Optional[int] = None,
 ):
-    """Execute ``program`` and return ``(pid, origin_pm)``.
+    """Execute a program described by an :class:`ExecSpec` and return an
+    :class:`ExecHandle` (generator helper)::
 
-    ``where`` is ``"local"``, ``"*"`` (random idle machine), or a
-    workstation name; ``lhid`` runs the program inside an existing
-    logical host (sub-programs "typically execute within a single
-    logical host", §3).  Generator helper::
+        handle = yield from exec_program(ctx, ExecSpec("cc68", ("prog.c",),
+                                                       where="*"))
 
-        pid, pm = yield from exec_program(ctx, "cc68", ("prog.c",), where="*")
+    The positional form ``exec_program(ctx, "cc68", args, where, lhid)``
+    is deprecated; it runs the identical trajectory and returns the
+    handle, which unpacks as the old ``(pid, origin_pm)`` tuple.
+    """
+    if not isinstance(spec, ExecSpec):
+        warnings.warn(
+            "exec_program(ctx, program, args, where, lhid) is deprecated; "
+            "pass an ExecSpec instead",
+            DeprecationWarning, stacklevel=2,
+        )
+        spec = ExecSpec(program=spec, args=tuple(args), where=where,
+                        lhid=lhid)
+    handle = yield from _exec_spec(ctx, spec)
+    return handle
+
+
+def _exec_spec(ctx: ProgramContext, spec: ExecSpec):
+    """The one placement/creation/start loop behind every exec form.
+
+    With the default FirstResponder policy this replays the
+    pre-placement client byte for byte: the same candidate query, the
+    same ``create-program``, the same "bytes requested" retry race, no
+    extra messages or delays (the verify matrix's baseline cell proves
+    it).  Cache-driven policies add probe messages, admission checks and
+    bounded backoff on stale-view declines.
     """
     # A sub-program of a remotely executed program is part of the remote
     # job: it inherits remote status (and with it REMOTE priority) even
     # when spawned on the local machine.
-    remote = where != "local" or ctx.remote
-    attempts = 3 if where == "*" else 1
+    remote = spec.where != "local" or ctx.remote
+    sim = ctx.sim
+    placed = spec.where == "*"
+    policy = _resolve_policy(ctx, spec) if placed else None
+    attempts = spec.retry_budget if placed else 1
+    cache = ctx.host_cache
+    trace = sim.trace if sim is not None else None
+    metrics = sim.metrics if sim is not None else None
+    requested_at = sim.now if sim is not None else 0
+    deadline = None
+    if spec.timeout_us is not None and sim is not None:
+        deadline = sim.now + spec.timeout_us
+    span = 0
+    if trace is not None and placed:
+        span = trace.begin_span(
+            "placement", f"select:{policy.name}", program=spec.program)
+    if metrics is not None and metrics.active:
+        metrics.counter("placement.execs").inc()
     reply = None
+    used = 0
+    exclude: set = set()
     for attempt in range(attempts):
-        if where == "local":
+        used = attempt + 1
+        selected_host = None
+        if spec.where == "local":
             pm: Pid = ctx.program_manager
-        elif where == "*":
-            candidate = yield from select_candidate_host()
-            pm = candidate["pm"]
+        elif placed:
+            selection = yield from policy.select(ctx, spec, attempt, exclude)
+            if selection is None:
+                break
+            pm, selected_host = selection.pm, selection.host
         else:
-            pm = yield from query_host_by_name(where)
-        reply = yield Send(
-            pm,
-            Message(
-                "create-program",
-                program=program,
-                args=tuple(args),
-                remote=remote,
-                lhid=lhid,
-            ),
-        )
+            pm = yield from query_host_by_name(spec.where)
+            selected_host = spec.where
+        request = {
+            "program": spec.program, "args": tuple(spec.args),
+            "remote": remote, "lhid": spec.lhid,
+        }
+        if placed and policy.admission:
+            request["admission"] = True
+            request["memory_needed"] = spec.memory_needed
+        try:
+            reply = yield Send(pm, Message("create-program", **request))
+        except SendTimeoutError:
+            if not placed:
+                raise
+            # The selected host never answered -- crashed, partitioned,
+            # or too backlogged to reply in time.  Treat it like a
+            # decline: drop it from the cached view and try elsewhere
+            # under the same retry/deadline budget.
+            reply = None
+            if selected_host is not None:
+                exclude.add(selected_host)
+                if cache is not None:
+                    cache.drop(selected_host)
+            if metrics is not None and metrics.active:
+                metrics.counter("placement.retries").inc()
+            if deadline is not None and sim.now >= deadline:
+                break
+            continue
+        if cache is not None:
+            cache.observe_reply(reply)
         if reply.kind == "program-created":
             break
-        # Candidate answers are optimistic: by creation time the winner
-        # may have filled up (several ``@ *`` requests race to the same
-        # lightly-loaded host).  Re-select and try elsewhere.
-        if where != "*" or "bytes requested" not in reply.get("error", ""):
+        if not placed or not policy.should_retry(spec, reply, attempt):
             break
+        # The chosen host refused (admission caught a stale view) or
+        # filled up between selection and creation: try elsewhere,
+        # excluding it, under the spec's retry/deadline budget.
+        refused = reply.get("host") or selected_host
+        if refused is not None:
+            exclude.add(refused)
+        if metrics is not None and metrics.active:
+            metrics.counter("placement.retries").inc()
+        if deadline is not None and sim.now >= deadline:
+            break
+        backoff = policy.backoff_us(attempt)
+        if backoff:
+            from repro.kernel.process import Delay
+
+            yield Delay(backoff)
+    if reply is None:
+        if span:
+            trace.end_span(span, ok=False)
+        raise NoCandidateHostError(
+            f"placement found no host for {spec.program}")
     if reply.kind != "program-created":
+        if span:
+            trace.end_span(span, ok=False)
         raise ExecutionError(reply.get("error", "program creation failed"))
+    if span:
+        trace.end_span(span, ok=True, host=reply.get("host"), attempts=used)
     new_pid: Pid = reply["pid"]
     child_ctx = ctx.rebound_to(new_pid)
-    child_ctx.args = tuple(args)
+    child_ctx.args = tuple(spec.args)
     child_ctx.remote = remote
     child_ctx.origin_pm = reply["origin_pm"]
+    if spec.env:
+        child_ctx.env.update(spec.env)
+    if spec.io is not None:
+        child_ctx.stdout = spec.io
     started = yield Send(
         new_pid,
         Message(
@@ -163,11 +339,26 @@ def exec_program(
         ),
     )
     if started.kind != "program-started":
-        raise ExecutionError(f"program {program} failed to start")
-    return new_pid, reply["origin_pm"]
+        raise ExecutionError(f"program {spec.program} failed to start")
+    return ExecHandle(
+        pid=new_pid, origin_pm=reply["origin_pm"], host=reply.get("host"),
+        program=spec.program,
+        policy=policy.name if placed else spec.where,
+        attempts=used, requested_at=requested_at,
+        started_at=sim.now if sim is not None else 0,
+    )
 
 
-def wait_for_program(origin_pm: Optional[Pid], pid: Pid):
+def wait_program(ctx: ProgramContext, handle: Union[ExecHandle, Pid]):
+    """Block until the program behind ``handle`` exits; returns its exit
+    code (generator helper).  Accepts an :class:`ExecHandle` or a bare
+    pid."""
+    if isinstance(handle, ExecHandle):
+        return (yield from _wait_impl(handle.origin_pm, handle.pid))
+    return (yield from _wait_impl(None, handle))
+
+
+def _wait_impl(origin_pm: Optional[Pid], pid: Pid):
     """Block until the program exits; returns its exit code.
 
     The wait is a deferred-reply rendezvous at the program manager of the
@@ -206,15 +397,38 @@ def wait_for_program(origin_pm: Optional[Pid], pid: Pid):
         raise ExecutionError(reply.get("error", "wait failed"))
 
 
+def wait_for_program(origin_pm: Optional[Pid], pid: Pid):
+    """Deprecated positional form of :func:`wait_program` (generator)."""
+    warnings.warn(
+        "wait_for_program(origin_pm, pid) is deprecated; use "
+        "wait_program(ctx, handle)",
+        DeprecationWarning, stacklevel=2,
+    )
+    code = yield from _wait_impl(origin_pm, pid)
+    return code
+
+
+def run_program(ctx: ProgramContext, spec: ExecSpec):
+    """Execute a spec and wait for its exit code (generator helper)."""
+    handle = yield from _exec_spec(ctx, spec)
+    code = yield from _wait_impl(handle.origin_pm, handle.pid)
+    return code
+
+
 def exec_and_wait(
     ctx: ProgramContext,
     program: str,
     args: Tuple[str, ...] = (),
     where: str = "local",
 ):
-    """Run a program to completion; returns its exit code (generator)."""
-    pid, origin_pm = yield from exec_program(ctx, program, args, where)
-    code = yield from wait_for_program(origin_pm, pid)
+    """Deprecated positional form of :func:`run_program` (generator)."""
+    warnings.warn(
+        "exec_and_wait(ctx, program, ...) is deprecated; use "
+        "run_program(ctx, ExecSpec(...))",
+        DeprecationWarning, stacklevel=2,
+    )
+    code = yield from run_program(
+        ctx, ExecSpec(program=program, args=tuple(args), where=where))
     return code
 
 

@@ -48,6 +48,11 @@ class ProgramContext:
     #: of the modelled V environment: workload bodies use it to derive
     #: named random streams and read the clock.
     sim: Any = None
+    #: The home workstation's :class:`repro.cluster.placement.HostStateCache`
+    #: (None unless the cluster installed one).  A shared, slightly-stale
+    #: cluster-load view; placement policies consult it and every exec
+    #: folds piggy-backed digests back into it.
+    host_cache: Any = None
 
     @property
     def kernel_server(self) -> Pid:
@@ -82,4 +87,5 @@ class ProgramContext:
             home=self.home,
             remote=self.remote,
             sim=self.sim,
+            host_cache=self.host_cache,
         )

@@ -91,7 +91,9 @@ def chaos_scenario(
     intentionally-broken mode that must trip no-residual-dependency),
     ``copy_plane`` (False -- run with every ``COPY_PLANE`` data-plane
     toggle on, so burst framing and adaptive pre-copy face the same
-    abuse as the per-page stream), ``postmortem_dir`` (None -- arm a
+    abuse as the per-page stream), ``placement`` (False -- run with
+    every ``PLACEMENT`` toggle on, so the host-state caches and probing
+    placement face crashing, lossy hosts), ``postmortem_dir`` (None -- arm a
     flight recorder: tracing + metrics on, and the first invariant
     violation dumps a postmortem bundle there.  Used by the replay
     path, not by campaign sweeps, so the verdict payload stays
@@ -139,6 +141,23 @@ def chaos_scenario(
         finally:
             COPY_PLANE.set_all(False)
         result["copy_plane"] = True
+        return result
+
+    if config.get("placement"):
+        # Same pattern for the placement plane: cache daemons are
+        # installed at cluster build time, so the toggles must be up
+        # before construction and restored on every exit path.
+        from repro._fastpath import PLACEMENT
+
+        PLACEMENT.set_all(True)
+        try:
+            result = chaos_scenario(
+                {**config, "placement": False}, seed,
+                collect_metrics=collect_metrics, warm=warm,
+            )
+        finally:
+            PLACEMENT.set_all(False)
+        result["placement"] = True
         return result
 
     plane = build_fault_plane(recipe)
@@ -270,6 +289,7 @@ def chaos_scenario(
         "schedule": schedule,
         "break_rebinding": break_rebinding,
         "copy_plane": False,
+        "placement": False,
         "messages": messages,
         "completed": len(completed),
         "served": len(served),
@@ -303,6 +323,7 @@ def campaign_spec(
     messages: int = 30,
     break_rebinding: bool = False,
     copy_plane: bool = False,
+    placement: bool = False,
     collect_metrics: bool = False,
 ) -> SweepSpec:
     """The sweep spec for a chaos campaign: one config per schedule,
@@ -321,6 +342,7 @@ def campaign_spec(
             "messages": messages,
             "break_rebinding": break_rebinding,
             "copy_plane": copy_plane,
+            "placement": placement,
         }
         for name in names
     )

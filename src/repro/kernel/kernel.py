@@ -362,13 +362,17 @@ class Kernel:
     def load_summary(self) -> Dict[str, int]:
         """The load report a program manager answers queries with."""
         program_processes = 0
+        remote_processes = 0
         for lh in self.logical_hosts.values():
             for pcb in lh.live_processes():
                 if pcb.priority >= Priority.LOCAL:
                     program_processes += 1
+                    if pcb.priority == Priority.REMOTE:
+                        remote_processes += 1
         return {
             "ready": self.scheduler.ready_count(max_priority=Priority.LOCAL),
             "programs": program_processes,
+            "remote": remote_processes,
             "memory_free": self.memory_free,
         }
 

@@ -104,7 +104,7 @@ def migration_scenario(
     time before the migration starts).
     """
     from repro.cluster import build_cluster
-    from repro.execution import exec_program
+    from repro.execution import ExecSpec, exec_program
     from repro.kernel.process import Priority
     from repro.migration.manager import run_migration
 
@@ -123,7 +123,7 @@ def migration_scenario(
     holder: Dict[str, Any] = {}
 
     def session(ctx):
-        pid, _pm = yield from exec_program(ctx, program, where="ws1")
+        pid, _pm = yield from exec_program(ctx, ExecSpec(program, where="ws1"))
         holder["pid"] = pid
 
     cluster.spawn_session(cluster.workstations[0], session)
@@ -216,3 +216,4 @@ def ping_scenario(
 # ``register_scenario`` from this module at its own import time.
 import repro.faults.campaign  # noqa: E402,F401  (registration side effect)
 import repro.verify.scenario  # noqa: E402,F401  (registration side effect)
+import repro.workloads.job_storm  # noqa: E402,F401  (registration side effect)

@@ -103,8 +103,38 @@ class ProgramManager:
         self.candidate_replies = 0
         self.migrations_out = 0
         self.migrations_failed = 0
+        #: Selection traffic: every find-candidates/placement probe-load
+        #: handled here.  Summed across managers this is the cluster's
+        #: per-exec selection message cost (the placement bench's key
+        #: metric).
+        self.selection_queries = 0
+        #: Background anti-entropy refreshes (``probe-load`` with
+        #: ``refresh=True``) -- cache upkeep, not selection traffic, so
+        #: accounted separately.
+        self.refresh_queries = 0
+        #: Admission-checked creations politely declined (stale views).
+        self.exec_declines = 0
+        m = self.sim.metrics
+        self._m_queries = m.counter("placement.queries", self.hostname)
+        self._m_refreshes = m.counter(
+            "placement.refresh_queries", self.hostname)
+        self._m_declines = m.counter("placement.declines", self.hostname)
 
     # ------------------------------------------------------------- helpers
+
+    def load_digest(self) -> dict:
+        """This host's load summary in the piggy-backed digest format
+        (see :class:`repro.cluster.placement.HostDigest`).  Attached to
+        replies the manager already sends -- message fields weigh nothing
+        on the simulated wire, so piggy-backing never changes trajectory
+        and stays on unconditionally."""
+        summary = self.kernel.load_summary()
+        return {
+            "host": self.hostname, "pm": self.pcb.pid,
+            "load": summary["programs"], "remote": summary["remote"],
+            "ready": summary["ready"], "memory_free": summary["memory_free"],
+            "ts": self.sim.now,
+        }
 
     def program_lhids(self) -> List[int]:
         """Logical hosts on this workstation running program-priority
@@ -144,19 +174,43 @@ class ProgramManager:
                 # Busier hosts take longer to answer, which is what makes
                 # "first responder" double as "generally the least loaded
                 # host" (paper §2.1).
+                self.selection_queries += 1
+                if self.sim.metrics.active:
+                    self._m_queries.inc()
                 summary = self.kernel.load_summary()
                 yield Compute(
                     model.host_query_handling_us + 2_000 * summary["programs"]
                 )
                 if self.policy.willing(self.workstation, msg.get("memory_needed", 0)):
                     self.candidate_replies += 1
-                    summary = self.kernel.load_summary()
+                    digest = self.load_digest()
                     yield Reply(sender, Message(
                         "candidate", pm=self.pcb.pid, host=self.hostname,
-                        load=summary["programs"], memory_free=summary["memory_free"],
+                        load=digest["load"], memory_free=digest["memory_free"],
+                        digest=digest,
                     ))
                 else:
                     yield Decline(sender)
+            elif kind == "probe-load":
+                # A unicast load probe (placement policies, anti-entropy
+                # cache refresh).  Unlike find-candidates this *always*
+                # replies -- a Decline on a direct send would strand the
+                # prober until its send timeout.
+                if msg.get("refresh"):
+                    self.refresh_queries += 1
+                    if self.sim.metrics.active:
+                        self._m_refreshes.inc()
+                else:
+                    self.selection_queries += 1
+                    if self.sim.metrics.active:
+                        self._m_queries.inc()
+                yield Compute(model.host_query_handling_us)
+                willing = self.policy.willing(
+                    self.workstation, msg.get("memory_needed", 0))
+                yield Reply(sender, Message(
+                    "load-digest", pm=self.pcb.pid, host=self.hostname,
+                    willing=willing, digest=self.load_digest(),
+                ))
             elif kind == "offer-lh":
                 summary = self.kernel.load_summary()
                 yield Compute(
@@ -271,6 +325,25 @@ class ProgramManager:
 
         model = self.kernel.model
         name = msg["program"]
+        if msg.get("admission"):
+            # Cache-driven placements (RandomK/CachedBestFit) were chosen
+            # from a possibly stale view, so the target re-validates
+            # willingness and declines *politely* -- with a fresh digest,
+            # so the requester's next attempt already sees the truth.
+            # Paper-exact requests never carry the flag and are
+            # unaffected.
+            yield Compute(model.host_query_handling_us)
+            if not self.policy.willing(self.workstation,
+                                       msg.get("memory_needed", 0)):
+                self.exec_declines += 1
+                if self.sim.metrics.active:
+                    self._m_declines.inc()
+                yield Reply(sender, Message(
+                    "exec-declined", pm=self.pcb.pid, host=self.hostname,
+                    error="admission check refused (stale view)",
+                    digest=self.load_digest(),
+                ))
+                return
         stat = yield from self._file_server_send(
             Message("stat-image", name=name)
         )
@@ -320,6 +393,7 @@ class ProgramManager:
         yield Reply(sender, Message(
             "program-created", pid=pcb.pid, lhid=lh.lhid,
             origin_pm=self.pcb.pid, host=self.hostname,
+            digest=self.load_digest(),
         ))
 
     def _program_exited(self, sender, msg):

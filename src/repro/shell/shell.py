@@ -17,7 +17,8 @@ from repro.errors import (
     NoCandidateHostError,
     ReproError,
 )
-from repro.execution.api import exec_program, wait_for_program, write_stdout
+from repro.execution.api import (ExecHandle, ExecSpec, exec_program,
+                                 wait_program, write_stdout)
 from repro.ipc.messages import Message
 from repro.kernel.ids import Pid, local_program_manager_group
 from repro.kernel.process import Send
@@ -73,9 +74,10 @@ class Shell:
 
     def _execute(self, ctx, command: Command):
         try:
-            pid, origin_pm = yield from exec_program(
-                ctx, command.program, command.args, where=command.target
-            )
+            handle = yield from exec_program(ctx, ExecSpec(
+                command.program, args=command.args, where=command.target,
+            ))
+            pid, origin_pm = handle.pid, handle.origin_pm
         except NoCandidateHostError:
             yield from self._print(
                 ctx, f"{command.program}: no idle workstation available"
@@ -87,7 +89,7 @@ class Shell:
             self.jobs[job] = (pid, origin_pm)
             yield from self._print(ctx, f"[{job}] {command.program} started as {pid}")
             return
-        code = yield from wait_for_program(origin_pm, pid)
+        code = yield from wait_program(ctx, handle)
         yield from self._print(ctx, f"{command.program}: exit {code}")
 
     # ------------------------------------------------------------ builtins
@@ -156,7 +158,8 @@ class Shell:
             yield from self._print(ctx, f"wait: unknown job {command.args}")
             return
         pid, origin_pm = job
-        code = yield from wait_for_program(origin_pm, pid)
+        code = yield from wait_program(
+            ctx, ExecHandle(pid=pid, origin_pm=origin_pm))
         yield from self._print(ctx, f"wait: {pid} exited {code}")
 
     def _cmd_kill(self, ctx, command: Command):

@@ -66,8 +66,9 @@ def _expect_for(toggles: Dict[str, bool], schedule: Optional[str],
     if perturb is not None:
         return "perturb"
     domains = knob_domains()
-    if any(domains[name] == "copy_plane" and value
+    if any(domains[name] != "fastpath" and value
            for name, value in toggles.items()):
+        # copy_plane and placement knobs change which messages exist.
         return "tolerant"
     return "byte"
 
@@ -116,8 +117,9 @@ def make_cell(
 def sample_matrix(n: int, seed: int = 0) -> List[Dict[str, Any]]:
     """A stratified sample of ``n`` cells (first is always the
     baseline).  The first eight cover every equivalence class and both
-    event cores; beyond that, deterministic random toggle vectors fill
-    the budget (seeded from ``seed``, so the same matrix replays)."""
+    event cores, cells nine and ten the placement plane; beyond that,
+    deterministic random toggle vectors fill the budget (seeded from
+    ``seed``, so the same matrix replays)."""
     if n < 2:
         raise SimulationError("a differential matrix needs >= 2 cells")
     fastpath_off = {
@@ -134,6 +136,10 @@ def sample_matrix(n: int, seed: int = 0) -> List[Dict[str, Any]]:
         make_cell(perturb={"seed": derive_seed(seed, "verify:perturb:0"),
                            "rate": 0.25}),
         make_cell(schedule=_SAMPLE_SCHEDULE),
+        # Placement strata ride after the original eight so budgeted
+        # prefixes of older matrices stay byte-for-byte the same.
+        make_cell({"load_cache": True}),
+        make_cell({"load_cache": True, "probe_placement": True}),
     ]
     cells = strata[:n]
     rng = random.Random(f"verify-matrix:{seed}")

@@ -246,8 +246,7 @@ def _apply_toggles(toggles: Dict[str, bool]) -> None:
     process state such as ``REPRO_EVENT_WHEEL=1`` must not leak in, or
     the baseline would silently run on the wheel core and the
     heap-vs-wheel differential axis would collapse."""
-    from repro._fastpath import (COPY_PLANE, FASTPATH, knob_default,
-                                 knob_domains)
+    from repro._fastpath import knob_block, knob_default, knob_domains
 
     domains = knob_domains()
     for name in sorted(toggles):
@@ -257,8 +256,8 @@ def _apply_toggles(toggles: Dict[str, bool]) -> None:
                 f"known: {', '.join(sorted(domains))}"
             )
     for name, domain in domains.items():
-        target = FASTPATH if domain == "fastpath" else COPY_PLANE
-        setattr(target, name, bool(toggles.get(name, knob_default(name))))
+        setattr(knob_block(domain), name,
+                bool(toggles.get(name, knob_default(name))))
 
 
 def run_cell_config(config: Dict[str, Any]) -> Dict[str, Any]:
@@ -286,7 +285,7 @@ def verify_cell(
     (None or a :mod:`repro.verify.mutation` name), plus the
     ``postmortem_*`` passthroughs.
     """
-    from repro._fastpath import COPY_PLANE, FASTPATH
+    from repro._fastpath import COPY_PLANE, FASTPATH, PLACEMENT
     from repro.sim.engine import arm_perturber
     from repro.verify import mutation as mutation_mod
     from repro.verify.perturb import TiePerturber
@@ -303,6 +302,7 @@ def verify_cell(
 
     fp_before = FASTPATH.snapshot()
     cp_before = COPY_PLANE.snapshot()
+    pl_before = PLACEMENT.snapshot()
     perturber = None
     crash: Optional[str] = None
     payload: Optional[Dict[str, Any]] = None
@@ -331,6 +331,8 @@ def verify_cell(
             setattr(FASTPATH, name, value)
         for name, value in cp_before.items():
             setattr(COPY_PLANE, name, value)
+        for name, value in pl_before.items():
+            setattr(PLACEMENT, name, value)
 
     result: Dict[str, Any] = {
         "toggles": {k: bool(v) for k, v in sorted(toggles.items())},

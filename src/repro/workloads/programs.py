@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, Tuple
 
 from repro.config import PAGE_SIZE
-from repro.execution.api import exec_program, wait_for_program
+from repro.execution.api import ExecHandle, ExecSpec, exec_program, wait_program
 from repro.execution.program import ProgramImage, ProgramRegistry
 from repro.kernel.process import Compute, TouchPages
 from repro.workloads.base import dirty_workload_body
@@ -99,10 +99,10 @@ def _cc68_body(ctx):
         pid = None
         for attempt in range(6):
             try:
-                pid, pm = yield from exec_program(
-                    ctx, spec.name, args=ctx.args,
+                pid, pm = yield from exec_program(ctx, ExecSpec(
+                    spec.name, args=ctx.args,
                     lhid=ctx.self_pid.logical_host_id,
-                )
+                ))
                 break
             except ExecutionError:
                 # Transient memory pressure (several compilations sharing
@@ -133,7 +133,8 @@ def _wait_with_bookkeeping(ctx, pid, origin_pm, model, base_page, rng, poll_us=2
             yield TouchPages(pages)
         listing = yield Send(origin_pm, Message("query-programs"))
         if all(row["pid"] != pid for row in listing.get("rows", ())):
-            code = yield from wait_for_program(origin_pm, pid)
+            code = yield from wait_program(
+                ctx, ExecHandle(pid=pid, origin_pm=origin_pm))
             return code
         yield Delay(poll_us)
 
@@ -148,7 +149,8 @@ def _make_body(ctx):
         pages = MAKE_SPEC.model.tick_pages(rng, 50_000, MAKE_SPEC.base_page)
         if pages:
             yield TouchPages(pages)
-        pid, pm = yield from exec_program(ctx, "cc68", args=(target,))
+        pid, pm = yield from exec_program(
+            ctx, ExecSpec("cc68", args=(target,)))
         code = yield from _wait_with_bookkeeping(
             ctx, pid, pm, MAKE_SPEC.model, MAKE_SPEC.base_page, rng
         )

@@ -94,6 +94,63 @@ def test_balancer_respects_moves_per_round():
     assert balancer.stats.moves_requested <= 2
 
 
+def test_survey_drops_unreachable_host_and_continues():
+    """A crashed host must cost the survey one timeout, not the round:
+    its answer is dropped, everyone else's still counts, and the pile on
+    ws1 gets spread regardless (the serial-survey hang this guards
+    against stalled the whole daemon on the first dead machine)."""
+    cluster, holders = make_loaded_cluster(n=5, jobs=3)
+    cluster.sim.strict = False
+    cluster.station("ws4").kernel.crash()  # idle bystander dies
+    balancer = install_load_balancer(
+        cluster, "ws0",
+        BalancerPolicy(interval_us=1_000_000, overload_threshold=1,
+                       underload_threshold=1, max_moves_per_round=1),
+    )
+    cluster.run(until_us=cluster.sim.now + 30_000_000)
+    assert balancer.stats.unreachable >= 1
+    assert balancer.stats.rounds >= 3
+    assert balancer.stats.moves_succeeded >= 2
+
+
+def test_survey_answers_from_placement_cache():
+    """With the placement plane on, fresh cached digests answer the
+    remote-count question without a query message, and the balancer
+    still spreads the pile from that view."""
+    from repro._fastpath import PLACEMENT
+
+    PLACEMENT.load_cache = True  # conftest hygiene fixture restores
+    cluster, holders = make_loaded_cluster(jobs=3)
+    balancer = install_load_balancer(
+        cluster, "ws0",
+        BalancerPolicy(interval_us=1_000_000, overload_threshold=1,
+                       underload_threshold=1, max_moves_per_round=1),
+    )
+    cluster.run(until_us=cluster.sim.now + 30_000_000)
+    assert balancer.stats.cache_hits >= 1
+    assert balancer.stats.moves_succeeded >= 2
+
+
+def test_balancer_survives_workstation_reboot():
+    """The roster is re-resolved every round, so a rebooted host's fresh
+    manager pid is picked up and the daemon keeps running instead of
+    surveying the dead pid forever."""
+    cluster = build_cluster(n_workstations=3,
+                            registry=standard_registry(scale=0.3))
+    balancer = install_load_balancer(
+        cluster, "ws0", BalancerPolicy(interval_us=1_000_000))
+    cluster.run(until_us=5_000_000)
+    old_pid = cluster.program_managers["ws1"].pcb.pid
+    cluster.sim.strict = False
+    cluster.reboot_workstation("ws1")
+    rounds_before = balancer.stats.rounds
+    cluster.run(until_us=cluster.sim.now + 10_000_000)
+    assert cluster.program_managers["ws1"].pcb.pid != old_pid
+    assert balancer.stats.rounds >= rounds_before + 5
+    # At most the in-flight round saw the dying manager.
+    assert balancer.stats.unreachable <= 1
+
+
 def test_balancer_and_owner_reclaim_coexist():
     """A reclaim and the balancer may target the same host at once; the
     in-progress guard serializes them and everything still completes."""

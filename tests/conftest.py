@@ -17,16 +17,19 @@ import pytest
 
 @pytest.fixture(autouse=True)
 def _toggle_hygiene():
-    from repro._fastpath import COPY_PLANE, FASTPATH
+    from repro._fastpath import COPY_PLANE, FASTPATH, PLACEMENT
     from repro.sim.engine import arm_perturber
     from repro.verify.mutation import clear_all
 
     fastpath = FASTPATH.snapshot()
     copy_plane = COPY_PLANE.snapshot()
+    placement = PLACEMENT.snapshot()
     yield
     for name, value in fastpath.items():
         setattr(FASTPATH, name, value)
     for name, value in copy_plane.items():
         setattr(COPY_PLANE, name, value)
+    for name, value in placement.items():
+        setattr(PLACEMENT, name, value)
     clear_all()
     arm_perturber(None)

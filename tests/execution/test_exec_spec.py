@@ -1,0 +1,166 @@
+"""The spec-based execution client and its deprecation shims.
+
+The redesign's core promise: ``exec_program(ctx, ExecSpec(...))`` with
+the default FirstResponder policy replays the pre-placement client's
+trajectory byte for byte, and the old positional entry points survive
+as shims that warn but behave identically.
+"""
+
+import warnings
+
+from repro.execution import (
+    ExecHandle,
+    ExecSpec,
+    exec_and_wait,
+    exec_program,
+    run_program,
+    wait_for_program,
+    wait_program,
+)
+from repro.execution.program import ProgramImage, ProgramRegistry
+from repro.workloads import standard_registry
+
+from tests.helpers import make_cluster
+
+
+def run_session(body, n=3, seed=0, registry=None):
+    """A fresh cluster with ``body`` as a session on ws0, run to the
+    end; returns (cluster, trajectory fingerprint)."""
+    cluster = make_cluster(
+        n, full=True, seed=seed,
+        registry=registry or standard_registry(scale=0.3))
+    cluster.spawn_session(cluster.workstations[0], body)
+    cluster.run(until_us=600_000_000)
+    return cluster, (cluster.sim.now, cluster.sim.event_count,
+                     cluster.net.packets_sent)
+
+
+# ------------------------------------------------------------------ dataclass
+
+def test_exec_spec_defaults():
+    spec = ExecSpec("cc68")
+    assert spec.where == "local"
+    assert spec.args == ()
+    assert spec.policy is None
+    assert spec.retry_budget == 3
+    assert spec.timeout_us is None
+
+
+def test_exec_handle_tuple_unpacks_like_the_old_pair():
+    handle = ExecHandle(pid="p", origin_pm="m", host="ws1")
+    pid, origin_pm = handle
+    assert (pid, origin_pm) == ("p", "m")
+
+
+def test_wait_program_accepts_bare_pid_or_handle():
+    cluster = make_cluster(2, full=True,
+                           registry=standard_registry(scale=0.3))
+    codes = []
+
+    def body(ctx):
+        handle = yield from exec_program(ctx, ExecSpec("cc68",
+                                                       args=("x.c",)))
+        codes.append((yield from wait_program(ctx, handle)))
+        handle = yield from exec_program(ctx, ExecSpec("cc68",
+                                                       args=("y.c",)))
+        # A bare pid routes the rendezvous through the local group.
+        codes.append((yield from wait_program(ctx, handle.pid)))
+
+    cluster.spawn_session(cluster.workstations[0], body)
+    cluster.run(until_us=600_000_000)
+    assert codes == [0, 0]
+
+
+# ----------------------------------------------------- old vs new trajectory
+
+def legacy_session(outcomes):
+    def body(ctx):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            pid, pm = yield from exec_program(
+                ctx, "cc68", args=("x.c",), where="*")
+            code = yield from wait_for_program(pm, pid)
+            outcomes.append((str(pid), code))
+            code = yield from exec_and_wait(ctx, "cc68", args=("y.c",))
+            outcomes.append(code)
+    return body
+
+
+def spec_session(outcomes):
+    def body(ctx):
+        handle = yield from exec_program(
+            ctx, ExecSpec("cc68", args=("x.c",), where="*"))
+        code = yield from wait_program(ctx, handle)
+        outcomes.append((str(handle.pid), code))
+        code = yield from run_program(ctx, ExecSpec("cc68", args=("y.c",)))
+        outcomes.append(code)
+    return body
+
+
+def test_legacy_and_spec_forms_take_identical_trajectories():
+    """The deprecation shims and the spec path must be the same program:
+    same simulated clock, event count, packet count and outcomes."""
+    old_outcomes, new_outcomes = [], []
+    _, old_fp = run_session(legacy_session(old_outcomes))
+    _, new_fp = run_session(spec_session(new_outcomes))
+    assert old_outcomes == new_outcomes
+    assert old_fp == new_fp
+
+
+def test_legacy_entry_points_warn():
+    """Each shim emits one DeprecationWarning naming its replacement.
+    The warnings fire inside generator bodies, so they are recorded
+    around the whole run rather than at call sites."""
+    cluster = make_cluster(2, full=True,
+                           registry=standard_registry(scale=0.3))
+    seen = []
+
+    def body(ctx):
+        handle = yield from exec_program(ctx, "cc68", args=("x.c",))
+        code = yield from wait_for_program(handle.origin_pm, handle.pid)
+        seen.append(code)
+        seen.append((yield from exec_and_wait(ctx, "cc68", args=("y.c",))))
+
+    cluster.spawn_session(cluster.workstations[0], body)
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        cluster.run(until_us=600_000_000)
+    assert seen == [0, 0]
+    messages = [str(w.message) for w in caught
+                if issubclass(w.category, DeprecationWarning)]
+    assert any("ExecSpec" in m for m in messages)
+    assert any("wait_program" in m for m in messages)
+    assert any("run_program" in m for m in messages)
+
+
+# ------------------------------------------------------------ env/io plumbing
+
+def probe_registry(seen):
+    def probe_body(ctx):
+        seen.append((dict(ctx.env), ctx.stdout))
+        return 0
+        yield  # pragma: no cover - generator marker
+
+    registry = ProgramRegistry()
+    registry.register(ProgramImage(
+        name="probe", image_bytes=16 * 1024, space_bytes=64 * 1024,
+        code_bytes=8 * 1024, body_factory=probe_body,
+    ))
+    return registry
+
+
+def test_spec_env_and_io_reach_the_child_context():
+    seen = []
+    done = []
+    session_pid = []
+
+    def body(ctx):
+        session_pid.append(ctx.self_pid)
+        code = yield from run_program(ctx, ExecSpec(
+            "probe", env={"TERM": "v-term"}, io=ctx.self_pid))
+        done.append(code)
+
+    run_session(body, n=2, registry=probe_registry(seen))
+    assert done == [0]
+    assert seen and seen[0][0].get("TERM") == "v-term"
+    assert seen[0][1] == session_pid[0]  # spec.io rebinds the child stdout

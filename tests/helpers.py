@@ -61,11 +61,11 @@ class BareCluster:
 
 
 def apply_toggles(toggles: Optional[Dict[str, bool]]) -> None:
-    """Set FASTPATH/COPY_PLANE knobs by name (unknown names raise).
-    No restore here -- the conftest hygiene fixture owns that."""
+    """Set FASTPATH/COPY_PLANE/PLACEMENT knobs by name (unknown names
+    raise).  No restore here -- the conftest hygiene fixture owns that."""
     if not toggles:
         return
-    from repro._fastpath import COPY_PLANE, FASTPATH, knob_domains
+    from repro._fastpath import knob_block, knob_domains
 
     domains = knob_domains()
     for name, value in sorted(toggles.items()):
@@ -74,8 +74,7 @@ def apply_toggles(toggles: Optional[Dict[str, bool]]) -> None:
             raise ValueError(
                 f"unknown toggle {name!r}; known: {', '.join(sorted(domains))}"
             )
-        target = FASTPATH if domain == "fastpath" else COPY_PLANE
-        setattr(target, name, bool(value))
+        setattr(knob_block(domain), name, bool(value))
 
 
 def make_cluster(

@@ -1,0 +1,79 @@
+"""Placement-plane properties.
+
+Two contracts: probing the *whole* fresh candidate set is equivalent to
+trusting the cached view on a quiesced cluster (RandomK's ``k = n``
+degenerate case collapses onto CachedBestFit -- the ``_fit_key`` total
+order makes both pick the same host), and every policy is coordinate-
+pure under the sweep pool (serial and parallel ``job_storm`` runs are
+byte-identical, per policy)."""
+
+import dataclasses
+
+import pytest
+
+from repro.cluster.placement import CachedBestFit, RandomK
+from repro.execution import ExecSpec, exec_program
+from repro.parallel import SweepSpec, run_sweep
+from repro.workloads import standard_registry
+
+from tests.helpers import make_cluster
+
+
+def place_once(n, seed, policy):
+    """One placed exec under ``policy`` on a quiesced ``n``-host
+    cluster; returns the chosen host.
+
+    The requester's cache is warmed from each manager's real
+    ``load_digest`` at the moment of the exec (what one fallback
+    multicast would have observed), so the probed and trusted runs of a
+    comparison see byte-identical state -- anti-entropy rotation timing
+    stays out of the property."""
+    from repro.cluster.placement import HostDigest
+
+    cluster = make_cluster(n, full=True, seed=seed,
+                           toggles={"load_cache": True},
+                           registry=standard_registry(scale=0.3))
+    cache = cluster.host_caches["ws0"]
+    chosen = []
+
+    def session(ctx):
+        for pm in cluster.program_managers.values():
+            cache.observe(HostDigest.from_fields(pm.load_digest()))
+        assert len({d.host for d in cache.fresh_entries()}) == n
+        handle = yield from exec_program(ctx, ExecSpec(
+            "cc68", args=("x.c",), where="*", policy=policy))
+        chosen.append(handle.host)
+
+    cluster.spawn_session(cluster.workstations[0], session)
+    while not chosen and cluster.sim.peek() is not None:
+        cluster.sim.run(until_us=cluster.sim.now + 500_000)
+    assert chosen
+    return chosen[0]
+
+
+@pytest.mark.parametrize("n,seed", [(3, 0), (4, 7), (5, 23)])
+def test_randomk_full_k_matches_best_fit_on_quiesced_cluster(n, seed):
+    """With every host idle and cached fresh, probing all ``n`` of them
+    and trusting the cache must agree on the placement."""
+    probed_host = place_once(n, seed, RandomK(k=n))
+    trusted_host = place_once(n, seed, CachedBestFit())
+    assert probed_host == trusted_host
+
+
+POLICIES = ("first_responder", "random_k", "best_fit")
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_job_storm_serial_parallel_byte_identity(policy):
+    """Every policy's randomness comes from seeded, coordinate-pure
+    streams, so a worker pool must merge to the serial bytes exactly."""
+    spec = SweepSpec(
+        scenario="job_storm",
+        configs=({"workstations": 4, "jobs": 6, "policy": policy},),
+        replications=2,
+        master_seed=11,
+        workers=1,
+    )
+    serial = run_sweep(spec)
+    parallel = run_sweep(dataclasses.replace(spec, workers=2))
+    assert parallel.to_json() == serial.to_json()
